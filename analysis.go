@@ -1,0 +1,88 @@
+package walknotwait
+
+import (
+	"math/rand"
+
+	"repro/internal/agg"
+	"repro/internal/linalg"
+	"repro/internal/stats"
+)
+
+// EstimateMean estimates the population AVG of an attribute from sampled
+// nodes, choosing the correct estimator for the design's target
+// distribution: arithmetic mean for uniform targets (MHRW), the
+// importance-weighted ratio estimator for degree-proportional targets (SRW).
+func EstimateMean(c *Client, d Design, attr string, nodes []int) (float64, error) {
+	return agg.EstimateMean(c, d, attr, nodes)
+}
+
+// RelativeError is the paper's error measure |x̃ − x| / x.
+func RelativeError(estimate, truth float64) float64 { return agg.RelativeError(estimate, truth) }
+
+// EffectiveSampleSize implements Equation 25 for correlated one-long-run
+// samples: M = h / (1 + 2·Σ ρ_k).
+func EffectiveSampleSize(xs []float64, maxLag int) (float64, error) {
+	return agg.EffectiveSampleSize(xs, maxLag)
+}
+
+// Autocorrelation returns the lag-k sample autocorrelation of a series.
+func Autocorrelation(xs []float64, lag int) (float64, error) {
+	return agg.Autocorrelation(xs, lag)
+}
+
+// EstimateNumNodes estimates the network size from degree-biased samples via
+// the Katzir–Liberty–Somekh collision estimator (the paper's citation [20]).
+func EstimateNumNodes(nodes []int, degrees []float64) (float64, error) {
+	return agg.EstimateNumNodes(nodes, degrees)
+}
+
+// EstimateNumEdges estimates the edge count from degree-biased samples.
+func EstimateNumEdges(nodes []int, degrees []float64) (float64, error) {
+	return agg.EstimateNumEdges(nodes, degrees)
+}
+
+// TransitionMatrix is a sparse row-stochastic Markov transition matrix over
+// graph nodes, used by the full-topology oracles (exact p_t evolution,
+// burn-in, spectral gap). These require the whole graph and exist for
+// analysis and validation, not for query-limited sampling.
+type TransitionMatrix = linalg.Matrix
+
+// NewSRWMatrix builds the SRW transition matrix of a graph.
+func NewSRWMatrix(g *Graph) *TransitionMatrix { return linalg.NewSRW(g) }
+
+// NewMHRWMatrix builds the MHRW (uniform-target) transition matrix.
+func NewMHRWMatrix(g *Graph) *TransitionMatrix { return linalg.NewMHRW(g) }
+
+// Lazify returns α·I + (1−α)·T: same stationary distribution, guaranteed
+// aperiodicity.
+func Lazify(m *TransitionMatrix, alpha float64) *TransitionMatrix {
+	return linalg.Lazify(m, alpha)
+}
+
+// SRWStationary returns π(v) = d(v)/2|E|, the SRW stationary distribution.
+func SRWStationary(g *Graph) ([]float64, error) { return linalg.SRWStationary(g) }
+
+// UniformStationary returns the uniform distribution over n nodes.
+func UniformStationary(n int) []float64 { return linalg.UniformStationary(n) }
+
+// LInfDistance returns the ℓ∞ distance between two distributions.
+func LInfDistance(p, q []float64) (float64, error) { return stats.LInf(p, q) }
+
+// TotalVariation returns the total-variation distance between two
+// distributions.
+func TotalVariation(p, q []float64) (float64, error) { return stats.TotalVariation(p, q) }
+
+// KLDivergence returns D(p‖q) in nats.
+func KLDivergence(p, q []float64) (float64, error) { return stats.KL(p, q) }
+
+// EmpiricalDistribution converts sampled node ids into an empirical
+// distribution over n nodes.
+func EmpiricalDistribution(samples []int, n int) ([]float64, error) {
+	return stats.Empirical(samples, n)
+}
+
+// SpectralGap computes λ = 1 − s₂ of a reversible transition matrix with
+// stationary distribution pi, by deflated power iteration.
+func SpectralGap(m *TransitionMatrix, pi []float64, iters int, rng *rand.Rand) (float64, error) {
+	return m.SpectralGap(pi, iters, rng)
+}

@@ -1,0 +1,93 @@
+// Command weexp reproduces the paper's tables and figures. Each experiment
+// prints the same data series the paper plots, as plain-text tables suitable
+// for diffing or re-plotting.
+//
+// Usage:
+//
+//	weexp [flags] fig1|fig2|fig3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|longrun|all
+//
+// Flags tune the budgets; defaults are interactive-friendly, while
+// -trials 100 -scale 1 approaches the paper's full setting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	wnw "repro"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 1, "random seed")
+		scale   = flag.Float64("scale", 0.25, "dataset surrogate scale in (0,1]")
+		trials  = flag.Int("trials", 15, "independent trials averaged per point (paper: 100)")
+		samples = flag.Int("samples", 100, "samples per trial")
+		geweke  = flag.Float64("geweke", 0.1, "Geweke threshold for baselines")
+		bias    = flag.Int("bias-samples", 200000, "samples for fig12/table1")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: weexp [flags] <experiment>")
+		fmt.Fprintln(os.Stderr, "experiments: fig1 fig2 fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table1 longrun sensitivity harvest all")
+		os.Exit(2)
+	}
+	o := wnw.ExperimentOptions{
+		Seed:            *seed,
+		Scale:           *scale,
+		Trials:          *trials,
+		Samples:         *samples,
+		GewekeThreshold: *geweke,
+		BiasSamples:     *bias,
+	}
+	if err := run(flag.Arg(0), o); err != nil {
+		fmt.Fprintln(os.Stderr, "weexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, o wnw.ExperimentOptions) error {
+	single := map[string]func(wnw.ExperimentOptions) (wnw.ExperimentResult, error){
+		"fig1":        wnw.Fig1,
+		"fig2":        wnw.Fig2,
+		"fig3":        wnw.Fig3,
+		"fig5":        wnw.Fig5,
+		"table1":      wnw.Table1,
+		"longrun":     wnw.OneLongRunStudy,
+		"sensitivity": wnw.GewekeSensitivity,
+		"harvest":     wnw.HarvestStudy,
+		"burnin":      wnw.BurnInProfile,
+	}
+	multi := map[string]func(wnw.ExperimentOptions) ([]wnw.ExperimentResult, error){
+		"fig6":  wnw.Fig6,
+		"fig7":  wnw.Fig7,
+		"fig8":  wnw.Fig8,
+		"fig9":  wnw.Fig9,
+		"fig10": wnw.Fig10,
+		"fig11": wnw.Fig11,
+		"fig12": wnw.Fig12,
+		"all":   wnw.AllExperiments,
+	}
+	if f, ok := single[name]; ok {
+		r, err := f(o)
+		if err != nil {
+			return err
+		}
+		return r.Render(os.Stdout)
+	}
+	if f, ok := multi[name]; ok {
+		rs, err := f(o)
+		if err != nil {
+			return err
+		}
+		for _, r := range rs {
+			if err := r.Render(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown experiment %q", name)
+}

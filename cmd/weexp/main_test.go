@@ -1,0 +1,39 @@
+package main
+
+import (
+	"testing"
+
+	wnw "repro"
+)
+
+func tinyOpts() wnw.ExperimentOptions {
+	return wnw.ExperimentOptions{
+		Seed:        3,
+		Scale:       0.02,
+		Trials:      2,
+		Samples:     10,
+		BiasSamples: 1500,
+	}
+}
+
+func TestRunSingleExperiments(t *testing.T) {
+	for _, name := range []string{"fig1", "fig2", "fig3", "table1", "longrun"} {
+		if err := run(name, tinyOpts()); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunMultiExperiments(t *testing.T) {
+	for _, name := range []string{"fig6", "fig11", "fig12"} {
+		if err := run(name, tinyOpts()); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := run("fig99", tinyOpts()); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}

@@ -1,0 +1,103 @@
+// Command wegen generates graphs and evaluation datasets as edge-list files.
+//
+// Usage:
+//
+//	wegen -model ba -n 1000 -m 7 -seed 42 -out graph.txt
+//	wegen -model yelp -scale 0.25 -seed 1 -out yelp.txt
+//
+// Models: ba (Barabási–Albert), hk (Holme–Kim), cycle, hypercube (n rounded
+// to 2^k), barbell, tree (balanced binary of height h via -m), complete,
+// star, gnp, gnm, regular, gplus, yelp, twitter, smallsf.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	wnw "repro"
+)
+
+func main() {
+	var (
+		model = flag.String("model", "ba", "graph model to generate")
+		n     = flag.Int("n", 1000, "number of nodes (or 2^k for hypercube)")
+		m     = flag.Int("m", 3, "edges per new node / degree / tree height, model dependent")
+		p     = flag.Float64("p", 0.1, "edge or triad probability (gnp, hk)")
+		scale = flag.Float64("scale", 0.25, "dataset scale in (0,1] (gplus, yelp, twitter)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		out   = flag.String("out", "", "output path (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*model, *n, *m, *p, *scale, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "wegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(model string, n, m int, p, scale float64, seed int64, out string) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	rng := rand.New(rand.NewSource(seed))
+	var g *wnw.Graph
+	switch model {
+	case "ba":
+		g = wnw.NewBarabasiAlbert(n, m, rng)
+	case "hk":
+		g = wnw.NewHolmeKim(n, m, p, rng)
+	case "cycle":
+		g = wnw.NewCycle(n)
+	case "hypercube":
+		k := 0
+		for 1<<(k+1) <= n {
+			k++
+		}
+		g = wnw.NewHypercube(k)
+	case "barbell":
+		g = wnw.NewBarbell(n)
+	case "tree":
+		g = wnw.NewBalancedBinaryTree(m)
+	case "complete":
+		g = wnw.NewComplete(n)
+	case "star":
+		g = wnw.NewStar(n)
+	case "gnp":
+		g = wnw.NewErdosRenyiGNP(n, p, rng)
+	case "gnm":
+		g = wnw.NewErdosRenyiGNM(n, m, rng)
+	case "regular":
+		g = wnw.NewRandomRegular(n, m, rng)
+	case "gplus", "yelp", "twitter", "smallsf":
+		var ds *wnw.Dataset
+		switch model {
+		case "gplus":
+			ds, err = wnw.GooglePlusDataset(scale, seed)
+		case "yelp":
+			ds, err = wnw.YelpDataset(scale, seed)
+		case "twitter":
+			ds, err = wnw.TwitterDataset(scale, seed)
+		case "smallsf":
+			ds = wnw.SmallScaleFreeDataset(seed)
+		}
+		if err != nil {
+			return err
+		}
+		g = ds.Graph
+		fmt.Fprintf(os.Stderr, "dataset %s: n=%d m=%d avg-degree=%.2f diameter-bound=%d start=%d\n",
+			ds.Name, g.NumNodes(), g.NumEdges(), g.AvgDegree(), ds.DiameterUB, ds.StartNode)
+	default:
+		return fmt.Errorf("unknown model %q", model)
+	}
+	if out == "" {
+		return wnw.WriteEdgeList(os.Stdout, g)
+	}
+	if err := wnw.SaveEdgeList(out, g); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d nodes, %d edges\n", out, g.NumNodes(), g.NumEdges())
+	return nil
+}

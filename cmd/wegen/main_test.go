@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	wnw "repro"
+)
+
+func TestRunAllModels(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		model string
+		n, m  int
+		p     float64
+	}{
+		{"ba", 100, 3, 0},
+		{"hk", 100, 3, 0.5},
+		{"cycle", 20, 0, 0},
+		{"hypercube", 16, 0, 0},
+		{"barbell", 11, 0, 0},
+		{"tree", 0, 3, 0},
+		{"complete", 8, 0, 0},
+		{"star", 9, 0, 0},
+		{"gnp", 40, 0, 0.2},
+		{"gnm", 40, 60, 0},
+		{"regular", 20, 4, 0},
+		{"smallsf", 0, 0, 0},
+	}
+	for _, c := range cases {
+		out := filepath.Join(dir, c.model+".txt")
+		if err := run(c.model, c.n, c.m, c.p, 0.1, 1, out); err != nil {
+			t.Fatalf("%s: %v", c.model, err)
+		}
+		g, err := wnw.LoadEdgeList(out)
+		if err != nil {
+			t.Fatalf("%s: load: %v", c.model, err)
+		}
+		if g.NumNodes() == 0 || g.NumEdges() == 0 {
+			t.Fatalf("%s: empty graph", c.model)
+		}
+	}
+}
+
+func TestRunDatasets(t *testing.T) {
+	dir := t.TempDir()
+	for _, model := range []string{"gplus", "yelp", "twitter"} {
+		out := filepath.Join(dir, model+".txt")
+		if err := run(model, 0, 0, 0, 0.01, 2, out); err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if _, err := os.Stat(out); err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", 10, 2, 0, 0.5, 1, ""); err == nil || !strings.Contains(err.Error(), "unknown model") {
+		t.Fatalf("unknown model error = %v", err)
+	}
+	// Generator panics surface as errors.
+	if err := run("cycle", 2, 0, 0, 0.5, 1, ""); err == nil {
+		t.Fatal("tiny cycle should error")
+	}
+	// Bad dataset scale.
+	if err := run("gplus", 0, 0, 0, 5.0, 1, ""); err == nil {
+		t.Fatal("bad scale should error")
+	}
+	// Unwritable output path.
+	if err := run("ba", 10, 2, 0, 0.5, 1, "/nonexistent-dir/x.txt"); err == nil {
+		t.Fatal("unwritable path should error")
+	}
+}

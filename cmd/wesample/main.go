@@ -1,0 +1,125 @@
+// Command wesample draws node samples from an edge-list graph through the
+// simulated restricted-access interface, with either a traditional
+// random-walk sampler or WALK-ESTIMATE, and reports the sampled nodes,
+// query cost, and an AVG-degree estimate.
+//
+// Usage:
+//
+//	wesample -in graph.txt -sampler we -design srw -count 100
+//	wesample -in graph.txt -sampler geweke -design mhrw -count 100
+//	wesample -in graph.txt -sampler longrun -burnin 500 -thin 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	wnw "repro"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "edge-list file (required)")
+		sampler = flag.String("sampler", "we", "we | geweke | fixed | longrun")
+		design  = flag.String("design", "srw", "input design: srw | mhrw")
+		count   = flag.Int("count", 100, "number of samples")
+		start   = flag.Int("start", -1, "start node (default: max-degree node)")
+		walkLen = flag.Int("walklen", 0, "WE walk length (default 2·diameter+1)")
+		hops    = flag.Int("hops", 2, "WE initial-crawl depth")
+		burnin  = flag.Int("burnin", 200, "burn-in steps (fixed, longrun)")
+		thin    = flag.Int("thin", 1, "thinning (longrun)")
+		geweke  = flag.Float64("geweke", 0.1, "Geweke threshold")
+		maxStep = flag.Int("maxsteps", 2000, "max steps per baseline walk")
+		seed    = flag.Int64("seed", 1, "random seed")
+		quiet   = flag.Bool("quiet", false, "suppress per-sample output")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "wesample: -in is required")
+		os.Exit(2)
+	}
+	if err := run(*in, *sampler, *design, *count, *start, *walkLen, *hops,
+		*burnin, *thin, *geweke, *maxStep, *seed, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "wesample:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, samplerName, designName string, count, start, walkLen, hops,
+	burnin, thin int, geweke float64, maxStep int, seed int64, quiet bool) error {
+	g, err := wnw.LoadEdgeList(in)
+	if err != nil {
+		return err
+	}
+	d, err := wnw.DesignByName(designName)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if start < 0 {
+		for v := 0; v < g.NumNodes(); v++ {
+			if start < 0 || g.Degree(v) > g.Degree(start) {
+				start = v
+			}
+		}
+	}
+	net := wnw.NewNetwork(g)
+	c := wnw.NewClient(net, wnw.CostUniqueNodes, rng)
+
+	var res wnw.SampleResult
+	switch samplerName {
+	case "we":
+		if walkLen <= 0 {
+			walkLen = 2*g.EstimateDiameter(4, rng) + 1
+		}
+		s, err := wnw.NewWalkEstimate(c, wnw.WEConfig{
+			Design:      d,
+			Start:       start,
+			WalkLength:  walkLen,
+			UseCrawl:    true,
+			CrawlHops:   hops,
+			UseWeighted: true,
+		}, rng)
+		if err != nil {
+			return err
+		}
+		if res, err = s.SampleN(count); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "acceptance-rate %.4f, steps %d (fwd %d / bwd %d)\n",
+			s.AcceptanceRate(), s.TotalSteps(), s.ForwardSteps(), s.BackwardSteps())
+	case "geweke":
+		res, err = wnw.ManyShortRuns(c, d, start, count, wnw.Geweke{Threshold: geweke}, maxStep, rng)
+		if err != nil {
+			return err
+		}
+	case "fixed":
+		res, err = wnw.ManyShortRuns(c, d, start, count, wnw.FixedBurnIn{N: burnin}, maxStep+burnin, rng)
+		if err != nil {
+			return err
+		}
+	case "longrun":
+		res, err = wnw.OneLongRun(c, d, start, burnin, count, thin, rng)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown sampler %q", samplerName)
+	}
+
+	if !quiet {
+		for i, v := range res.Nodes {
+			fmt.Printf("%d %d %d\n", v, res.Steps[i], res.CostAfter[i])
+		}
+	}
+	est, err := wnw.EstimateMean(c, d, wnw.AttrDegree, res.Nodes)
+	if err != nil {
+		return err
+	}
+	truth := g.AvgDegree()
+	fmt.Fprintf(os.Stderr, "samples %d, query-cost %d, AVG-degree estimate %.4f (truth %.4f, rel-err %.4f)\n",
+		res.Len(), c.Queries(), est, truth, wnw.RelativeError(est, truth))
+	return nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	wnw "repro"
+)
+
+func writeGraph(t *testing.T) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g := wnw.NewBarabasiAlbert(200, 3, rng)
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := wnw.SaveEdgeList(path, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSamplers(t *testing.T) {
+	path := writeGraph(t)
+	cases := []struct {
+		sampler string
+		design  string
+	}{
+		{"we", "srw"},
+		{"we", "mhrw"},
+		{"geweke", "srw"},
+		{"geweke", "mhrw"},
+		{"fixed", "srw"},
+		{"longrun", "srw"},
+	}
+	for _, c := range cases {
+		if err := run(path, c.sampler, c.design, 10, -1, 0, 2, 50, 2, 0.1, 500, 1, true); err != nil {
+			t.Fatalf("%s/%s: %v", c.sampler, c.design, err)
+		}
+	}
+}
+
+func TestRunExplicitParameters(t *testing.T) {
+	path := writeGraph(t)
+	// Explicit start node and walk length.
+	if err := run(path, "we", "srw", 5, 3, 9, 1, 50, 1, 0.1, 500, 7, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeGraph(t)
+	if err := run("/missing.txt", "we", "srw", 5, -1, 0, 2, 50, 1, 0.1, 500, 1, true); err == nil {
+		t.Fatal("missing file should error")
+	}
+	if err := run(path, "bogus", "srw", 5, -1, 0, 2, 50, 1, 0.1, 500, 1, true); err == nil {
+		t.Fatal("unknown sampler should error")
+	}
+	if err := run(path, "we", "bogus", 5, -1, 0, 2, 50, 1, 0.1, 500, 1, true); err == nil {
+		t.Fatal("unknown design should error")
+	}
+}

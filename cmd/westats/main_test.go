@@ -1,0 +1,50 @@
+package main
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	wnw "repro"
+)
+
+func writeGraph(t *testing.T) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g := wnw.NewBarabasiAlbert(150, 3, rng)
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := wnw.SaveEdgeList(path, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSmallGraph(t *testing.T) {
+	if err := run(writeGraph(t), false, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExactFlag(t *testing.T) {
+	if err := run(writeGraph(t), true, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLargeGraphSampledPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := wnw.NewBarabasiAlbert(2500, 3, rng)
+	path := filepath.Join(t.TempDir(), "big.txt")
+	if err := wnw.SaveEdgeList(path, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, false, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run("/does/not/exist.txt", false, 1); err == nil {
+		t.Fatal("missing file should error")
+	}
+}

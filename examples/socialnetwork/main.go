@@ -1,0 +1,91 @@
+// Social-network analytics through a restricted API: estimate several AVG
+// aggregates over the Google Plus surrogate (the paper's Section 7 workload)
+// with SRW, MHRW, and WALK-ESTIMATE over each, at a fixed query budget.
+//
+// Run with: go run ./examples/socialnetwork
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	wnw "repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// Google Plus surrogate at 1/5 scale: ~3300 users, avg degree ~110,
+	// with the self-description word-count attribute.
+	ds, err := wnw.GooglePlusDataset(0.2, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := ds.Graph
+	fmt.Printf("dataset %s: %d nodes, %d edges, avg degree %.1f\n",
+		ds.Name, g.NumNodes(), g.NumEdges(), g.AvgDegree())
+	fmt.Printf("ground truth: AVG degree %.3f, AVG self-description words %.3f\n\n",
+		ds.Truth[wnw.AttrDegree], ds.Truth[wnw.AttrSelfDesc])
+
+	const samples = 120
+	type row struct {
+		name    string
+		queries int64
+		degErr  float64
+		descErr float64
+	}
+	var rows []row
+
+	run := func(name string, d wnw.Design, useWE bool) {
+		c := wnw.NewClient(ds.Net, wnw.CostUniqueNodes, rng)
+		var res wnw.SampleResult
+		var err error
+		if useWE {
+			var s *wnw.WESampler
+			s, err = wnw.NewWalkEstimate(c, wnw.WEConfig{
+				Design:      d,
+				Start:       ds.StartNode,
+				WalkLength:  ds.WalkLength(),
+				UseCrawl:    true,
+				CrawlHops:   ds.CrawlHops,
+				UseWeighted: true,
+			}, rng)
+			if err == nil {
+				res, err = s.SampleN(samples)
+			}
+		} else {
+			res, err = wnw.ManyShortRuns(c, d, ds.StartNode, samples,
+				wnw.Geweke{Threshold: 0.1}, 2000, rng)
+		}
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		degEst, err := wnw.EstimateMean(c, d, wnw.AttrDegree, res.Nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		descEst, err := wnw.EstimateMean(c, d, wnw.AttrSelfDesc, res.Nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{
+			name:    name,
+			queries: c.Queries(),
+			degErr:  wnw.RelativeError(degEst, ds.Truth[wnw.AttrDegree]),
+			descErr: wnw.RelativeError(descEst, ds.Truth[wnw.AttrSelfDesc]),
+		})
+	}
+
+	run("SRW", wnw.SimpleRandomWalk(), false)
+	run("WE(SRW)", wnw.SimpleRandomWalk(), true)
+	run("MHRW", wnw.MetropolisHastings(), false)
+	run("WE(MHRW)", wnw.MetropolisHastings(), true)
+
+	fmt.Printf("%-10s %10s %16s %16s\n", "sampler", "queries", "degree-rel-err", "selfdesc-rel-err")
+	for _, r := range rows {
+		fmt.Printf("%-10s %10d %16.4f %16.4f\n", r.name, r.queries, r.degErr, r.descErr)
+	}
+	fmt.Println("\nWALK-ESTIMATE reaches comparable or better error at lower query cost,")
+	fmt.Println("which is the paper's Figure 6 in miniature.")
+}

@@ -1,0 +1,151 @@
+// Package agg turns node samples into AVG aggregate estimates, the paper's
+// experimental yardstick (Section 2.4 and 7.1): the relative error of
+// sample-based estimates of averages such as AVG degree, AVG star rating, or
+// AVG self-description length, against the hidden ground truth.
+//
+// Samples drawn uniformly (MHRW target, or WE over MHRW) use the arithmetic
+// mean; samples drawn proportionally to degree (SRW target, or WE over SRW)
+// use the importance-weighted ratio estimator, which for the degree
+// attribute reduces to the harmonic mean the paper mentions.
+package agg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+	"repro/internal/osn"
+	"repro/internal/walk"
+)
+
+// Mean estimates a population mean from uniform samples: the arithmetic
+// mean. It errors on empty input.
+func Mean(values []float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, errors.New("agg: no samples")
+	}
+	return mathx.Mean(values), nil
+}
+
+// WeightedRatio estimates a population mean from samples drawn with
+// probability proportional to the given (unnormalized) densities:
+// Σ(x_i/w_i) / Σ(1/w_i), the Hájek/ratio estimator. For degree-proportional
+// samples pass w_i = degree(v_i); estimating AVG degree then reduces to the
+// harmonic mean of the sampled degrees. Densities must be positive.
+func WeightedRatio(values, densities []float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, errors.New("agg: no samples")
+	}
+	if len(values) != len(densities) {
+		return 0, fmt.Errorf("agg: %d values vs %d densities", len(values), len(densities))
+	}
+	var num, den mathx.KahanSum
+	for i, x := range values {
+		w := densities[i]
+		if w <= 0 {
+			return 0, fmt.Errorf("agg: non-positive density %v at sample %d", w, i)
+		}
+		num.Add(x / w)
+		den.Add(1 / w)
+	}
+	d := den.Sum()
+	if d == 0 {
+		return 0, errors.New("agg: degenerate density normalizer")
+	}
+	return num.Sum() / d, nil
+}
+
+// EstimateMean estimates the population AVG of an attribute from sampled
+// nodes, choosing the right estimator for the design's target distribution:
+// arithmetic mean for uniform targets (MHRW), importance-weighted ratio for
+// degree-proportional targets (SRW). Attribute reads go through the client
+// and are charged per the usual rules.
+func EstimateMean(c *osn.Client, d walk.Design, attr string, nodes []int) (float64, error) {
+	if len(nodes) == 0 {
+		return 0, errors.New("agg: no samples")
+	}
+	values := make([]float64, len(nodes))
+	for i, v := range nodes {
+		x, err := c.Attr(attr, v)
+		if err != nil {
+			return 0, err
+		}
+		values[i] = x
+	}
+	switch d.(type) {
+	case walk.MHRW:
+		return Mean(values)
+	default:
+		densities := make([]float64, len(nodes))
+		for i, v := range nodes {
+			densities[i] = d.TargetWeight(c, v)
+		}
+		return WeightedRatio(values, densities)
+	}
+}
+
+// RelativeError is the paper's error measure |x̃ − x| / x for a true value x.
+// A zero truth with nonzero estimate yields +Inf.
+func RelativeError(estimate, truth float64) float64 {
+	if truth == 0 {
+		if estimate == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(estimate-truth) / math.Abs(truth)
+}
+
+// Autocorrelation returns the lag-k sample autocorrelation ρ_k of a series.
+// It errors when the series is shorter than lag+2 or has zero variance.
+func Autocorrelation(xs []float64, lag int) (float64, error) {
+	n := len(xs)
+	if lag < 0 {
+		return 0, fmt.Errorf("agg: negative lag %d", lag)
+	}
+	if n < lag+2 {
+		return 0, fmt.Errorf("agg: series length %d too short for lag %d", n, lag)
+	}
+	mean := mathx.Mean(xs)
+	var num, den mathx.KahanSum
+	for i := 0; i < n; i++ {
+		d := xs[i] - mean
+		den.Add(d * d)
+	}
+	if den.Sum() == 0 {
+		return 0, errors.New("agg: zero-variance series")
+	}
+	for i := 0; i+lag < n; i++ {
+		num.Add((xs[i] - mean) * (xs[i+lag] - mean))
+	}
+	return num.Sum() / den.Sum(), nil
+}
+
+// EffectiveSampleSize implements Equation 25: M = h / (1 + 2·Σ_k ρ_k) for a
+// series of h correlated draws (e.g. the attribute values along one long
+// run). The sum is truncated at the first non-positive autocorrelation
+// (Geyer's initial positive-sequence rule) and capped at maxLag. The result
+// is clamped to [1, h].
+func EffectiveSampleSize(xs []float64, maxLag int) (float64, error) {
+	h := len(xs)
+	if h < 2 {
+		return 0, errors.New("agg: need at least 2 samples")
+	}
+	if maxLag <= 0 || maxLag >= h-1 {
+		maxLag = h - 2
+	}
+	sum := 0.0
+	for k := 1; k <= maxLag; k++ {
+		rho, err := Autocorrelation(xs, k)
+		if err != nil {
+			return 0, err
+		}
+		if rho <= 0 {
+			break
+		}
+		sum += rho
+	}
+	m := float64(h) / (1 + 2*sum)
+	return mathx.Clamp(m, 1, float64(h)), nil
+}

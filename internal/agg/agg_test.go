@@ -1,0 +1,205 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/linalg"
+	"repro/internal/osn"
+	"repro/internal/walk"
+)
+
+func TestMean(t *testing.T) {
+	got, err := Mean([]float64{1, 2, 3, 6})
+	if err != nil || got != 3 {
+		t.Fatalf("Mean = %v, %v", got, err)
+	}
+	if _, err := Mean(nil); err == nil {
+		t.Fatal("empty input should error")
+	}
+}
+
+func TestWeightedRatioIsHarmonicMeanForDegree(t *testing.T) {
+	// For AVG degree from degree-proportional samples, the ratio estimator
+	// equals the harmonic mean of the sampled degrees.
+	degrees := []float64{2, 4, 8, 8}
+	got, err := WeightedRatio(degrees, degrees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4.0 / (1.0/2 + 1.0/4 + 1.0/8 + 1.0/8)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ratio = %v, harmonic mean = %v", got, want)
+	}
+}
+
+func TestWeightedRatioErrors(t *testing.T) {
+	if _, err := WeightedRatio(nil, nil); err == nil {
+		t.Error("empty should error")
+	}
+	if _, err := WeightedRatio([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := WeightedRatio([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero density should error")
+	}
+}
+
+func TestWeightedRatioUnbiasedOnStationarySamples(t *testing.T) {
+	// Draw nodes exactly from the SRW stationary distribution and check the
+	// ratio estimator recovers the true AVG degree.
+	rng := rand.New(rand.NewSource(1))
+	g := gen.BarabasiAlbert(200, 3, rng)
+	pi, _ := linalg.SRWStationary(g)
+	cum := make([]float64, len(pi))
+	acc := 0.0
+	for i, p := range pi {
+		acc += p
+		cum[i] = acc
+	}
+	sample := func() int {
+		r := rng.Float64()
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	const n = 20000
+	vals := make([]float64, n)
+	dens := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := sample()
+		vals[i] = float64(g.Degree(v))
+		dens[i] = float64(g.Degree(v))
+	}
+	got, err := WeightedRatio(vals, dens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := g.AvgDegree()
+	if RelativeError(got, truth) > 0.03 {
+		t.Fatalf("ratio estimate %v vs truth %v", got, truth)
+	}
+	// The naive arithmetic mean over degree-biased samples overestimates.
+	naive, _ := Mean(vals)
+	if naive <= truth {
+		t.Fatalf("biased mean %v should exceed truth %v", naive, truth)
+	}
+}
+
+func TestEstimateMeanDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := gen.BarabasiAlbert(50, 3, rng)
+	net := osn.NewNetwork(g)
+	c := osn.NewClient(net, osn.CostUniqueNodes, rng)
+	nodes := []int{0, 1, 2, 3, 4}
+	// MHRW: arithmetic mean of degrees of the given nodes.
+	got, err := EstimateMean(c, walk.MHRW{}, osn.AttrDegree, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for _, v := range nodes {
+		want += float64(g.Degree(v))
+	}
+	want /= float64(len(nodes))
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MHRW estimate = %v, want %v", got, want)
+	}
+	// SRW: harmonic-style ratio.
+	gotSRW, err := EstimateMean(c, walk.SRW{}, osn.AttrDegree, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSRW >= got {
+		t.Fatalf("ratio estimate %v should be below arithmetic %v on degree", gotSRW, got)
+	}
+	if _, err := EstimateMean(c, walk.SRW{}, osn.AttrDegree, nil); err == nil {
+		t.Fatal("no samples should error")
+	}
+	if _, err := EstimateMean(c, walk.SRW{}, "missing", nodes); err == nil {
+		t.Fatal("unknown attribute should error")
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(11, 10); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelativeError = %v", got)
+	}
+	if got := RelativeError(9, 10); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelativeError = %v", got)
+	}
+	if RelativeError(0, 0) != 0 {
+		t.Error("0/0 error should be 0")
+	}
+	if !math.IsInf(RelativeError(1, 0), 1) {
+		t.Error("x̃>0, x=0 should be +Inf")
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// Alternating series: ρ1 = −1 (up to the biased-normalizer factor).
+	xs := []float64{1, -1, 1, -1, 1, -1, 1, -1}
+	r0, err := Autocorrelation(xs, 0)
+	if err != nil || math.Abs(r0-1) > 1e-12 {
+		t.Fatalf("ρ0 = %v, %v", r0, err)
+	}
+	r1, err := Autocorrelation(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 >= 0 {
+		t.Fatalf("alternating ρ1 = %v, want negative", r1)
+	}
+	if _, err := Autocorrelation([]float64{1, 2}, 5); err == nil {
+		t.Error("short series should error")
+	}
+	if _, err := Autocorrelation([]float64{3, 3, 3, 3}, 1); err == nil {
+		t.Error("constant series should error")
+	}
+	if _, err := Autocorrelation(xs, -1); err == nil {
+		t.Error("negative lag should error")
+	}
+}
+
+func TestEffectiveSampleSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// i.i.d. noise: ESS ~ h.
+	iid := make([]float64, 2000)
+	for i := range iid {
+		iid[i] = rng.NormFloat64()
+	}
+	essIID, err := EffectiveSampleSize(iid, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if essIID < 1000 {
+		t.Fatalf("iid ESS = %v, want close to 2000", essIID)
+	}
+	// AR(1) with strong correlation: ESS much smaller.
+	ar := make([]float64, 2000)
+	for i := 1; i < len(ar); i++ {
+		ar[i] = 0.95*ar[i-1] + rng.NormFloat64()
+	}
+	essAR, err := EffectiveSampleSize(ar, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if essAR >= essIID/4 {
+		t.Fatalf("correlated ESS = %v should be far below iid %v", essAR, essIID)
+	}
+	if essAR < 1 {
+		t.Fatal("ESS clamped at 1")
+	}
+	if _, err := EffectiveSampleSize([]float64{1}, 10); err == nil {
+		t.Error("single sample should error")
+	}
+}

@@ -1,0 +1,78 @@
+package agg
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mathx"
+)
+
+// EstimateNumNodes implements the collision-based network-size estimator of
+// Katzir, Liberty and Somekh (WWW 2011) — the technique the paper cites
+// ([20]) for learning global quantities from degree-biased samples. Given
+// node ids and degrees of samples drawn from the SRW stationary distribution
+// (π ∝ degree),
+//
+//	n̂ = Ψ₁·Ψ₋₁ / (2·C)
+//
+// where Ψ₁ = Σ dᵢ, Ψ₋₁ = Σ 1/dᵢ, and C is the number of sample pairs that
+// hit the same node. It errors when no collisions occurred (sample too small
+// relative to the graph: as a rule of thumb you need Ω(√n) samples).
+func EstimateNumNodes(nodes []int, degrees []float64) (float64, error) {
+	r := len(nodes)
+	if r != len(degrees) {
+		return 0, fmt.Errorf("agg: %d nodes vs %d degrees", r, len(degrees))
+	}
+	if r < 2 {
+		return 0, errors.New("agg: need at least 2 samples")
+	}
+	var psi1, psiM1 mathx.KahanSum
+	counts := make(map[int]int, r)
+	for i, v := range nodes {
+		d := degrees[i]
+		if d <= 0 {
+			return 0, fmt.Errorf("agg: non-positive degree %v at sample %d", d, i)
+		}
+		psi1.Add(d)
+		psiM1.Add(1 / d)
+		counts[v]++
+	}
+	collisions := 0
+	for _, c := range counts {
+		collisions += c * (c - 1) / 2
+	}
+	if collisions == 0 {
+		return 0, errors.New("agg: no sample collisions; draw more samples (need Ω(√n))")
+	}
+	return psi1.Sum() * psiM1.Sum() / (2 * float64(collisions)), nil
+}
+
+// EstimateNumEdges estimates |E| from the same degree-biased sample:
+// since E_π[1/d] = n/(2|E|), we have |Ê| = n̂·R/(2·Ψ₋₁) with n̂ from
+// EstimateNumNodes (or a known node count, if available).
+func EstimateNumEdges(nodes []int, degrees []float64) (float64, error) {
+	n, err := EstimateNumNodes(nodes, degrees)
+	if err != nil {
+		return 0, err
+	}
+	return EstimateNumEdgesWithN(n, degrees)
+}
+
+// EstimateNumEdgesWithN estimates |E| given a node-count estimate (or exact
+// count) and the degrees of degree-biased samples.
+func EstimateNumEdgesWithN(n float64, degrees []float64) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("agg: non-positive node count %v", n)
+	}
+	if len(degrees) == 0 {
+		return 0, errors.New("agg: no samples")
+	}
+	var psiM1 mathx.KahanSum
+	for i, d := range degrees {
+		if d <= 0 {
+			return 0, fmt.Errorf("agg: non-positive degree %v at sample %d", d, i)
+		}
+		psiM1.Add(1 / d)
+	}
+	return n * float64(len(degrees)) / (2 * psiM1.Sum()), nil
+}

@@ -1,0 +1,124 @@
+package agg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/linalg"
+)
+
+// stationarySampler draws exact SRW-stationary samples via the inverse CDF.
+func stationarySampler(pi []float64, rng *rand.Rand) func() int {
+	cum := make([]float64, len(pi))
+	acc := 0.0
+	for i, p := range pi {
+		acc += p
+		cum[i] = acc
+	}
+	return func() int {
+		r := rng.Float64()
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+}
+
+func TestEstimateNumNodesKatzir(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := gen.BarabasiAlbert(3000, 4, rng)
+	pi, _ := linalg.SRWStationary(g)
+	draw := stationarySampler(pi, rng)
+	const r = 2500 // >> sqrt(3000)
+	nodes := make([]int, r)
+	degrees := make([]float64, r)
+	for i := 0; i < r; i++ {
+		v := draw()
+		nodes[i] = v
+		degrees[i] = float64(g.Degree(v))
+	}
+	nHat, err := EstimateNumNodes(nodes, degrees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(g.NumNodes())
+	if RelativeError(nHat, truth) > 0.35 {
+		t.Fatalf("n̂ = %v, truth %v", nHat, truth)
+	}
+	eHat, err := EstimateNumEdges(nodes, degrees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RelativeError(eHat, float64(g.NumEdges())) > 0.4 {
+		t.Fatalf("|Ê| = %v, truth %v", eHat, g.NumEdges())
+	}
+	// With the exact node count, the edge estimate tightens.
+	eHat2, err := EstimateNumEdgesWithN(truth, degrees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RelativeError(eHat2, float64(g.NumEdges())) > 0.1 {
+		t.Fatalf("|Ê| with exact n = %v, truth %v", eHat2, g.NumEdges())
+	}
+}
+
+func TestEstimateNumNodesErrors(t *testing.T) {
+	if _, err := EstimateNumNodes([]int{1}, []float64{2}); err == nil {
+		t.Error("too few samples should error")
+	}
+	if _, err := EstimateNumNodes([]int{1, 2}, []float64{2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := EstimateNumNodes([]int{1, 2}, []float64{2, 0}); err == nil {
+		t.Error("zero degree should error")
+	}
+	// Distinct nodes, no collisions.
+	if _, err := EstimateNumNodes([]int{1, 2, 3}, []float64{2, 2, 2}); err == nil {
+		t.Error("no collisions should error")
+	}
+}
+
+func TestEstimateNumEdgesWithNErrors(t *testing.T) {
+	if _, err := EstimateNumEdgesWithN(0, []float64{1}); err == nil {
+		t.Error("zero n should error")
+	}
+	if _, err := EstimateNumEdgesWithN(10, nil); err == nil {
+		t.Error("no samples should error")
+	}
+	if _, err := EstimateNumEdgesWithN(10, []float64{-1}); err == nil {
+		t.Error("negative degree should error")
+	}
+}
+
+func TestSizeEstimationWithWESamples(t *testing.T) {
+	// End-to-end: the size estimators work on WALK-ESTIMATE output too,
+	// since WE(SRW) delivers the same degree-proportional distribution.
+	// (Statistical check only at loose tolerance: WE samples carry
+	// estimation noise.)
+	rng := rand.New(rand.NewSource(2))
+	g := gen.BarabasiAlbert(400, 3, rng)
+	pi, _ := linalg.SRWStationary(g)
+	draw := stationarySampler(pi, rng)
+	const r = 900
+	nodes := make([]int, r)
+	degrees := make([]float64, r)
+	for i := 0; i < r; i++ {
+		v := draw()
+		nodes[i] = v
+		degrees[i] = float64(g.Degree(v))
+	}
+	nHat, err := EstimateNumNodes(nodes, degrees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nHat < 100 || nHat > 1600 {
+		t.Fatalf("n̂ = %v wildly off truth 400", nHat)
+	}
+}

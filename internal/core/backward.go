@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/mathx"
+	"repro/internal/osn"
+	"repro/internal/walk"
+)
+
+// Estimator produces unbiased estimates of p_t(u) — the probability that a
+// t-step forward walk from Start lands on u — by walking backward from u
+// (Section 5). With neither heuristic enabled it is exactly
+// UNBIASED-ESTIMATE (Algorithm 1); Crawl enables initial crawling
+// (Section 5.2) and Hist enables weighted backward sampling (Section 5.3,
+// Algorithm 2 / WS-BW).
+//
+// Fidelity note (documented in DESIGN.md): the paper's Algorithm 2 biases the
+// backward pick toward historically-hit neighbors but keeps Algorithm 1's
+// |N(u)|/|N(v)| factor, which is only unbiased for uniform picks. We weight
+// each step by p(w→u)/π_pick(w) — the importance-corrected generic form —
+// which reduces to the paper's factor under uniform picks and stays unbiased
+// under any pick distribution with full support (guaranteed by the ε-mixing
+// of Equation line 4 in Algorithm 2).
+type Estimator struct {
+	Client *osn.Client
+	Design walk.Design
+	Start  int
+	// Crawl, when non-nil, terminates backward walks early with exact
+	// probabilities (initial-crawling heuristic).
+	Crawl *CrawlTable
+	// Hist, when non-nil, enables weighted backward sampling from recorded
+	// forward walks.
+	Hist *History
+	// Epsilon is the minimum-probability mass of WS-BW (paper default 0.1).
+	// Only used when Hist != nil. Zero means 0.1.
+	Epsilon float64
+
+	// StepsTaken accumulates the total number of backward steps walked, for
+	// the cost accounting of Figure 5.
+	StepsTaken int64
+}
+
+func (e *Estimator) epsilon() float64 {
+	if e.Epsilon <= 0 || e.Epsilon > 1 {
+		return 0.1
+	}
+	return e.Epsilon
+}
+
+// EstimateOnce returns a single unbiased estimate of p_t(u). The walk's
+// queries are charged to the estimator's client.
+func (e *Estimator) EstimateOnce(u, t int, rng *rand.Rand) (float64, error) {
+	if t < 0 {
+		return 0, fmt.Errorf("core: negative step count %d", t)
+	}
+	weight := 1.0
+	node := u
+	for step := t; step > 0; step-- {
+		// Initial-crawling early exit: exact value available.
+		if e.Crawl != nil {
+			if p, ok := e.Crawl.Lookup(node, step); ok {
+				return weight * p, nil
+			}
+		}
+		w, pick, err := e.backStep(node, step, rng)
+		if err != nil {
+			return 0, err
+		}
+		e.StepsTaken++
+		trans := e.Design.Prob(e.Client, w, node) // p(w→node)
+		if trans == 0 {
+			// Only reachable via the self-loop candidate when the design's
+			// stay-probability happens to be 0; the estimate is exactly 0.
+			return 0, nil
+		}
+		weight *= trans / pick
+		node = w
+	}
+	if e.Crawl != nil {
+		if p, ok := e.Crawl.Lookup(node, 0); ok {
+			return weight * p, nil
+		}
+	}
+	if node == e.Start {
+		return weight, nil
+	}
+	return 0, nil
+}
+
+// backStep samples the predecessor candidate w for the current node and
+// returns it with its pick probability. Candidates are N(node), plus node
+// itself for designs with self-loops.
+func (e *Estimator) backStep(node, step int, rng *rand.Rand) (w int, pick float64, err error) {
+	nbr := e.Client.Neighbors(node)
+	selfLoop := e.Design.SelfLoops()
+	total := len(nbr)
+	if selfLoop {
+		total++
+	}
+	if total == 0 {
+		return 0, 0, fmt.Errorf("core: node %d has no predecessor candidates", node)
+	}
+	candidate := func(i int) int {
+		if i < len(nbr) {
+			return int(nbr[i])
+		}
+		return node // self-loop slot
+	}
+
+	if e.Hist == nil || e.Hist.Walks() == 0 {
+		// UNBIASED-ESTIMATE: uniform pick.
+		i := rng.Intn(total)
+		return candidate(i), 1 / float64(total), nil
+	}
+
+	// WS-BW: mix the uniform distribution with the (Laplace-smoothed)
+	// historic hit distribution at the predecessor step. Two tempering
+	// measures keep the importance weights bounded — a necessity the
+	// paper's Algorithm 2 glosses over (its raw (1−ε)·n/n_hw tilt makes
+	// the weight products explode combinatorially on dense graphs):
+	//
+	//   1. Laplace smoothing (+1 per candidate) so sparse evidence cannot
+	//      concentrate the pick distribution;
+	//   2. evidence-adaptive mixing: the history component's share grows
+	//      with the observed hit mass z as (1−ε)·z/(z+|C|), so with little
+	//      evidence the pick stays near uniform.
+	//
+	// Any full-support pick distribution keeps the estimator unbiased via
+	// the p(w→u)/π_pick(w) correction; the tempering only controls
+	// variance. The worst-case per-step weight inflation is 1/ε.
+	eps := e.epsilon()
+	hits := make([]float64, total)
+	var z float64
+	for i := 0; i < total; i++ {
+		h := float64(e.Hist.Hits(candidate(i), step-1))
+		hits[i] = h
+		z += h
+	}
+	uniform := 1 / float64(total)
+	if z == 0 {
+		i := rng.Intn(total)
+		return candidate(i), uniform, nil
+	}
+	beta := (1 - eps) * z / (z + float64(total))
+	smoothZ := z + float64(total) // Laplace: +1 per candidate
+	prob := func(i int) float64 {
+		return (1-beta)*uniform + beta*(hits[i]+1)/smoothZ
+	}
+	r := rng.Float64()
+	acc := 0.0
+	chosen := total - 1
+	for i := 0; i < total; i++ {
+		acc += prob(i)
+		if r < acc {
+			chosen = i
+			break
+		}
+	}
+	return candidate(chosen), prob(chosen), nil
+}
+
+// Estimate runs reps independent backward walks and returns the mean
+// estimate together with the sample variance of the individual estimates
+// (Algorithm 3's per-node quantities).
+func (e *Estimator) Estimate(u, t, reps int, rng *rand.Rand) (mean, variance float64, err error) {
+	if reps < 1 {
+		return 0, 0, fmt.Errorf("core: reps must be >= 1, got %d", reps)
+	}
+	var m mathx.Moments
+	for i := 0; i < reps; i++ {
+		v, err := e.EstimateOnce(u, t, rng)
+		if err != nil {
+			return 0, 0, err
+		}
+		m.Add(v)
+	}
+	return m.Mean(), m.Variance(), nil
+}
+
+// AllocateByVariance distributes extra repetitions across estimation targets
+// proportionally to their current variance (the budget rule at the end of
+// Algorithm 3). variances must be non-negative; targets with zero variance
+// receive nothing unless all are zero, in which case the budget is spread
+// evenly. The returned slice sums to budget.
+func AllocateByVariance(variances []float64, budget int) []int {
+	n := len(variances)
+	alloc := make([]int, n)
+	if n == 0 || budget <= 0 {
+		return alloc
+	}
+	total := 0.0
+	for _, v := range variances {
+		if v > 0 {
+			total += v
+		}
+	}
+	if total == 0 {
+		for i := 0; i < budget; i++ {
+			alloc[i%n]++
+		}
+		return alloc
+	}
+	// Largest-remainder apportionment.
+	assigned := 0
+	type rem struct {
+		i    int
+		frac float64
+	}
+	rems := make([]rem, 0, n)
+	for i, v := range variances {
+		if v <= 0 {
+			continue
+		}
+		exact := float64(budget) * v / total
+		share := int(exact)
+		alloc[i] = share
+		assigned += share
+		rems = append(rems, rem{i, exact - float64(share)})
+	}
+	sort.Slice(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	for k := 0; assigned < budget; k++ {
+		alloc[rems[k%len(rems)].i]++
+		assigned++
+	}
+	return alloc
+}

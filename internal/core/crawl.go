@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/osn"
+	"repro/internal/walk"
+)
+
+// CrawlTable is the initial-crawling heuristic of Section 5.2: the h-hop
+// neighborhood of the starting node is crawled once, and the exact sampling
+// probabilities p_τ(v) for all τ <= h are computed inside it by forward
+// dynamic programming. A backward walk that reaches step τ <= h can then
+// terminate immediately with an exact value instead of recursing to step 0,
+// which removes the largest variance contributions.
+//
+// Exactness argument: any τ-step walk from the start stays within the τ-hop
+// ball; crawling h hops reveals the full neighbor lists (hence degrees and
+// transition probabilities) of every node within distance h, so the DP for
+// τ <= h never needs information outside the crawl.
+type CrawlTable struct {
+	h     int
+	start int
+	// probs[τ] maps node -> p_τ(node); nodes absent from the map have
+	// probability exactly 0 at that step.
+	probs []map[int32]float64
+}
+
+// BuildCrawlTable crawls the h-hop ball around start through the client
+// (paying its queries) and computes the exact p_τ tables for τ = 0..h under
+// the given transition design. h must be >= 0; h = 0 yields just the trivial
+// p_0 = indicator(start) table.
+func BuildCrawlTable(c *osn.Client, d walk.Design, start, h int) (*CrawlTable, error) {
+	if h < 0 {
+		return nil, fmt.Errorf("core: crawl depth %d must be >= 0", h)
+	}
+	ct := &CrawlTable{h: h, start: start, probs: make([]map[int32]float64, h+1)}
+	ct.probs[0] = map[int32]float64{int32(start): 1}
+
+	// Crawl the ball: query every node within distance h.
+	dist := map[int32]int{int32(start): 0}
+	frontier := []int32{int32(start)}
+	for depth := 0; depth <= h && len(frontier) > 0; depth++ {
+		var next []int32
+		for _, u := range frontier {
+			for _, w := range c.Neighbors(int(u)) {
+				if _, seen := dist[w]; !seen {
+					dist[w] = depth + 1
+					if depth+1 <= h {
+						next = append(next, w)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+
+	// Forward DP: p_τ(v) = Σ_w p(w→v)·p_{τ-1}(w). All w in the support of
+	// p_{τ-1} are within distance τ-1 <= h-1, so their transition rows are
+	// fully known (and cached by the client, costing nothing extra).
+	for tau := 1; tau <= h; tau++ {
+		cur := make(map[int32]float64)
+		for w, pw := range ct.probs[tau-1] {
+			if pw == 0 {
+				continue
+			}
+			for _, v := range c.Neighbors(int(w)) {
+				p := d.Prob(c, int(w), int(v))
+				if p > 0 {
+					cur[v] += p * pw
+				}
+			}
+			if d.SelfLoops() {
+				if p := d.Prob(c, int(w), int(w)); p > 0 {
+					cur[w] += p * pw
+				}
+			}
+		}
+		ct.probs[tau] = cur
+	}
+	return ct, nil
+}
+
+// Depth returns h, the deepest step with exact probabilities.
+func (ct *CrawlTable) Depth() int { return ct.h }
+
+// Lookup returns the exact p_τ(v) if τ <= Depth(). ok is false when τ is
+// beyond the table (the value is then unknown, not zero). Nodes absent at a
+// covered step have probability exactly 0 — either they lie outside the
+// τ-ball or parity keeps the walk away.
+func (ct *CrawlTable) Lookup(v, tau int) (p float64, ok bool) {
+	if tau < 0 || tau > ct.h {
+		return 0, false
+	}
+	return ct.probs[tau][int32(v)], true
+}
+
+// Size returns the number of (step, node) entries stored, for diagnostics.
+func (ct *CrawlTable) Size() int {
+	total := 0
+	for _, m := range ct.probs {
+		total += len(m)
+	}
+	return total
+}

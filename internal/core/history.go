@@ -1,0 +1,37 @@
+package core
+
+// History accumulates, per (node, step) pair, how many of the forward walks
+// performed so far visited that node at that step. It feeds the weighted
+// sampling heuristic of Section 5.3 (WS-BW, Algorithm 2): backward steps are
+// biased toward neighbors that forward walks actually reach, because those
+// carry most of the probability mass being estimated.
+type History struct {
+	counts map[histKey]int32
+	walks  int
+}
+
+type histKey struct {
+	node int32
+	step int32
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History {
+	return &History{counts: make(map[histKey]int32)}
+}
+
+// RecordWalk registers a forward walk path (path[i] = node visited at step i).
+func (h *History) RecordWalk(path []int) {
+	for step, node := range path {
+		h.counts[histKey{int32(node), int32(step)}]++
+	}
+	h.walks++
+}
+
+// Hits returns n_{node,step}: how many recorded walks visited node at step.
+func (h *History) Hits(node, step int) int {
+	return int(h.counts[histKey{int32(node), int32(step)}])
+}
+
+// Walks returns n_hw, the number of recorded forward walks.
+func (h *History) Walks() int { return h.walks }

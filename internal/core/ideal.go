@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/mathx"
+)
+
+// IdealCostCurve computes the IDEAL-WALK expected query cost per sample as a
+// function of walk length t = 1..tmax, using the exact p_t oracle the
+// ideal sampler assumes (Section 4.1, Figure 2): with target distribution π,
+// the acceptance rate after a t-step walk from start is
+// ω(t) = min_v p_t(v)/π(v), so the expected cost is c(t) = t/ω(t).
+// Entries are +Inf while some node is still unreachable (t below the
+// eccentricity of the start node).
+func IdealCostCurve(m *linalg.Matrix, pi []float64, start, tmax int) []float64 {
+	n := m.NumNodes()
+	costs := make([]float64, tmax)
+	p := make([]float64, n)
+	p[start] = 1
+	next := make([]float64, n)
+	for t := 1; t <= tmax; t++ {
+		m.EvolveInto(next, p)
+		p, next = next, p
+		omega := math.Inf(1)
+		for v := 0; v < n; v++ {
+			if r := p[v] / pi[v]; r < omega {
+				omega = r
+			}
+		}
+		if omega <= 0 {
+			costs[t-1] = math.Inf(1)
+		} else {
+			costs[t-1] = float64(t) / omega
+		}
+	}
+	return costs
+}
+
+// IdealOptimalCost returns the minimum of IdealCostCurve and the walk length
+// achieving it. If every entry is infinite (tmax below the diameter), cost
+// is +Inf and tOpt is tmax.
+func IdealOptimalCost(m *linalg.Matrix, pi []float64, start, tmax int) (cost float64, tOpt int) {
+	curve := IdealCostCurve(m, pi, start, tmax)
+	cost, tOpt = math.Inf(1), tmax
+	for i, c := range curve {
+		if c < cost {
+			cost, tOpt = c, i+1
+		}
+	}
+	return cost, tOpt
+}
+
+// RWBurnInCost returns the query cost of the traditional input random walk
+// under the exact oracle: the smallest t at which the ℓ∞ distance between
+// p_t (from start) and π falls below delta. Returns tmax+1 if not reached.
+func RWBurnInCost(m *linalg.Matrix, pi []float64, start int, delta float64, tmax int) int {
+	n := m.NumNodes()
+	p := make([]float64, n)
+	p[start] = 1
+	next := make([]float64, n)
+	for t := 1; t <= tmax; t++ {
+		m.EvolveInto(next, p)
+		p, next = next, p
+		worst := 0.0
+		for v := 0; v < n; v++ {
+			if d := math.Abs(p[v] - pi[v]); d > worst {
+				worst = d
+			}
+		}
+		if worst <= delta {
+			return t
+		}
+	}
+	return tmax + 1
+}
+
+// IdealSaving returns the query-cost saving ratio 1 − c_opt/c_RW of
+// IDEAL-WALK over the input random walk at bias requirement delta
+// (Figure 3's y-axis). Saving is 0 when the plain walk is already cheaper
+// (which Theorem 1 rules out for delta < Γ, but finite tmax can clip).
+func IdealSaving(m *linalg.Matrix, pi []float64, start int, delta float64, tmax int) float64 {
+	cOpt, _ := IdealOptimalCost(m, pi, start, tmax)
+	cRW := float64(RWBurnInCost(m, pi, start, delta, tmax))
+	if math.IsInf(cOpt, 1) || cRW <= 0 {
+		return 0
+	}
+	saving := 1 - cOpt/cRW
+	if saving < 0 {
+		return 0
+	}
+	return saving
+}
+
+// Theorem1 bundles the closed-form quantities of Theorem 1 for a chain with
+// spectral gap lambda, maximum degree dmax, scale parameter gamma (Γ), and
+// bias requirement delta (∆), all under the paper's worst-case ℓ∞ mixing
+// bound |p_t(u) − π(u)| <= (1−λ)^t·d_max.
+type Theorem1 struct {
+	Gamma  float64
+	Delta  float64
+	DMax   float64
+	Lambda float64
+}
+
+func (th Theorem1) validate() error {
+	if th.Gamma <= 0 || th.DMax <= 0 {
+		return fmt.Errorf("core: Theorem1 needs positive Gamma and DMax, got Γ=%v dmax=%v", th.Gamma, th.DMax)
+	}
+	if th.Lambda <= 0 || th.Lambda >= 1 {
+		return fmt.Errorf("core: Theorem1 needs spectral gap in (0,1), got %v", th.Lambda)
+	}
+	if th.Delta < 0 || th.Delta >= th.Gamma {
+		return fmt.Errorf("core: Theorem1 needs 0 <= ∆ < Γ, got ∆=%v Γ=%v", th.Delta, th.Gamma)
+	}
+	return nil
+}
+
+// Cost evaluates Equation 15, f(t) = t·(Γ−∆)/(Γ−(1−λ)^t·d_max): the
+// worst-case expected query cost per sample of IDEAL-WALK at walk length t.
+// It returns +Inf where the denominator is not yet positive.
+func (th Theorem1) Cost(t float64) float64 {
+	denom := th.Gamma - math.Pow(1-th.Lambda, t)*th.DMax
+	if denom <= 0 {
+		return math.Inf(1)
+	}
+	return t * (th.Gamma - th.Delta) / denom
+}
+
+// TOpt evaluates Equation 7/18, the cost-minimizing walk length
+//
+//	t_opt = −log(−(1/Γ)·W(−Γ/(e·d_max))·d_max) / log(1−λ),
+//
+// using the W₋₁ branch of the Lambert W function (the W₀ branch gives a
+// negative length). Note t_opt is independent of ∆.
+func (th Theorem1) TOpt() (float64, error) {
+	if err := th.validate(); err != nil {
+		return 0, err
+	}
+	arg := -th.Gamma / (math.E * th.DMax)
+	if arg < -mathx.OneOverE {
+		return 0, fmt.Errorf("core: Lambert argument %v below −1/e (Γ=%v too large for dmax=%v)", arg, th.Gamma, th.DMax)
+	}
+	w := mathx.LambertWm1(arg)
+	if math.IsNaN(w) {
+		return 0, fmt.Errorf("core: Lambert W−1 undefined at %v", arg)
+	}
+	inner := -(1 / th.Gamma) * w * th.DMax
+	if inner <= 0 {
+		return 0, fmt.Errorf("core: invalid Lambert inner value %v", inner)
+	}
+	return -math.Log(inner) / math.Log(1-th.Lambda), nil
+}
+
+// RWCost evaluates Equation 13, the input random walk's expected query cost
+// per sample c_RW = log(∆/d_max)/log(1−λ) under the same mixing bound.
+// ∆ must be positive.
+func (th Theorem1) RWCost() (float64, error) {
+	if err := th.validate(); err != nil {
+		return 0, err
+	}
+	if th.Delta <= 0 {
+		return 0, fmt.Errorf("core: RWCost needs ∆ > 0")
+	}
+	return math.Log(th.Delta/th.DMax) / math.Log(1-th.Lambda), nil
+}
+
+// SavingBound evaluates the query-cost ratio upper bound of Equation 8 and
+// returns 1 − ratio, the guaranteed saving fraction.
+func (th Theorem1) SavingBound() (float64, error) {
+	tOpt, err := th.TOpt()
+	if err != nil {
+		return 0, err
+	}
+	cOpt := th.Cost(tOpt)
+	cRW, err := th.RWCost()
+	if err != nil {
+		return 0, err
+	}
+	if math.IsInf(cOpt, 1) || cRW <= 0 {
+		return 0, nil
+	}
+	return 1 - cOpt/cRW, nil
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/linalg"
+)
+
+func TestIdealCostCurveCycle(t *testing.T) {
+	g := gen.Cycle(9)
+	m := linalg.NewLazy(g, 0.2) // lazy: aperiodic, all nodes reachable past diameter
+	pi, _ := linalg.SRWStationary(g)
+	curve := IdealCostCurve(m, pi, 0, 60)
+	// Until the walk can reach the farthest node (eccentricity of the start
+	// is 4, so t < 4), cost is infinite.
+	for i := 0; i < 3; i++ {
+		if !math.IsInf(curve[i], 1) {
+			t.Fatalf("cost at t=%d should be +Inf, got %v", i+1, curve[i])
+		}
+	}
+	// Past it, finite.
+	if math.IsInf(curve[10], 1) {
+		t.Fatal("cost at t=11 should be finite")
+	}
+	// The curve dips then rises: min is not at the last point.
+	cost, tOpt := IdealOptimalCost(m, pi, 0, 60)
+	if math.IsInf(cost, 1) {
+		t.Fatal("optimal cost should be finite")
+	}
+	if tOpt <= 4 || tOpt >= 60 {
+		t.Fatalf("tOpt = %d, expected interior optimum", tOpt)
+	}
+	if curve[59] <= cost {
+		t.Fatal("cost should grow past the optimum")
+	}
+}
+
+func TestIdealOptimalCostUnreachable(t *testing.T) {
+	g := gen.Cycle(30)
+	m := linalg.NewSRW(g)
+	pi, _ := linalg.SRWStationary(g)
+	cost, tOpt := IdealOptimalCost(m, pi, 0, 3) // tmax below diameter
+	if !math.IsInf(cost, 1) || tOpt != 3 {
+		t.Fatalf("cost=%v tOpt=%d, want +Inf/tmax", cost, tOpt)
+	}
+}
+
+func TestRWBurnInCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	g := gen.BarabasiAlbert(31, 3, rng)
+	m := linalg.NewLazy(g, 0.1)
+	pi, _ := linalg.SRWStationary(g)
+	loose := RWBurnInCost(m, pi, 0, 0.01, 5000)
+	tight := RWBurnInCost(m, pi, 0, 0.0001, 5000)
+	if loose > tight {
+		t.Fatalf("burn-in must grow as delta shrinks: %d vs %d", loose, tight)
+	}
+	if tight > 5000 {
+		t.Fatal("chain should mix within 5000 steps")
+	}
+	// Unreachable threshold within tmax.
+	if got := RWBurnInCost(m, pi, 0, 1e-300, 10); got != 11 {
+		t.Fatalf("clipped burn-in = %d, want tmax+1", got)
+	}
+}
+
+func TestIdealSavingPositiveOnModels(t *testing.T) {
+	// The paper's Figure 3 setup: uniform target distribution (MHRW chain,
+	// lazified per footnote 1 so regular models are aperiodic). IDEAL-WALK
+	// saves >50% on all models at n≈31, with the cycle the weakest.
+	rng := rand.New(rand.NewSource(51))
+	savings := make(map[gen.Model]float64)
+	for _, model := range gen.AllModels() {
+		g, n := model.Instantiate(31, rng)
+		m := linalg.Lazify(linalg.NewMHRW(g), 0.01)
+		pi := linalg.UniformStationary(n)
+		delta := 0.001 / float64(n)
+		saving := IdealSaving(m, pi, 0, delta, 20000)
+		savings[model] = saving
+		if saving <= 0 || saving >= 1 {
+			t.Errorf("%v: saving = %v, want in (0,1)", model, saving)
+		}
+		if model != gen.ModelCycle && saving < 0.5 {
+			t.Errorf("%v: saving = %v, paper reports >50%% for non-cycle models", model, saving)
+		}
+	}
+	// Figure 3 shape: cycle is the weakest model.
+	for model, s := range savings {
+		if model != gen.ModelCycle && s < savings[gen.ModelCycle] {
+			t.Errorf("%v saving %v below cycle %v, contradicting Figure 3", model, s, savings[gen.ModelCycle])
+		}
+	}
+}
+
+func TestTheorem1TOptMinimizesCost(t *testing.T) {
+	th := Theorem1{Gamma: 1, Delta: 0.01, DMax: 20, Lambda: 0.3}
+	tOpt, err := th.TOpt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tOpt <= 0 {
+		t.Fatalf("tOpt = %v", tOpt)
+	}
+	fOpt := th.Cost(tOpt)
+	if math.IsInf(fOpt, 1) {
+		t.Fatal("cost at tOpt should be finite")
+	}
+	for _, d := range []float64{-2, -1, -0.1, 0.1, 1, 2, 5} {
+		if tt := tOpt + d; tt > 0 {
+			if th.Cost(tt) < fOpt-1e-9 {
+				t.Fatalf("Cost(%v)=%v beats Cost(tOpt=%v)=%v", tt, th.Cost(tt), tOpt, fOpt)
+			}
+		}
+	}
+}
+
+func TestTheorem1TOptIndependentOfDelta(t *testing.T) {
+	a := Theorem1{Gamma: 1, Delta: 0.5, DMax: 10, Lambda: 0.2}
+	b := Theorem1{Gamma: 1, Delta: 0.001, DMax: 10, Lambda: 0.2}
+	ta, err := a.TOpt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := b.TOpt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ta-tb) > 1e-9 {
+		t.Fatalf("tOpt depends on delta: %v vs %v", ta, tb)
+	}
+}
+
+func TestTheorem1CostAndRWCost(t *testing.T) {
+	th := Theorem1{Gamma: 1, Delta: 0.01, DMax: 20, Lambda: 0.3}
+	// Below mixing, denominator negative -> +Inf.
+	if !math.IsInf(th.Cost(0.1), 1) {
+		t.Fatal("early cost should be +Inf")
+	}
+	cRW, err := th.RWCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(0.01/20) / math.Log(0.7)
+	if math.Abs(cRW-want) > 1e-12 {
+		t.Fatalf("RWCost = %v, want %v", cRW, want)
+	}
+	// IDEAL-WALK always at least matches the plain walk (Theorem 1).
+	saving, err := th.SavingBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saving <= 0 || saving >= 1 {
+		t.Fatalf("saving bound = %v, want in (0,1)", saving)
+	}
+}
+
+func TestTheorem1Validation(t *testing.T) {
+	bad := []Theorem1{
+		{Gamma: 0, Delta: 0, DMax: 10, Lambda: 0.5},
+		{Gamma: 1, Delta: 0, DMax: 0, Lambda: 0.5},
+		{Gamma: 1, Delta: 0, DMax: 10, Lambda: 0},
+		{Gamma: 1, Delta: 0, DMax: 10, Lambda: 1},
+		{Gamma: 1, Delta: 2, DMax: 10, Lambda: 0.5}, // ∆ >= Γ
+	}
+	for i, th := range bad {
+		if _, err := th.TOpt(); err == nil {
+			t.Errorf("case %d: TOpt should fail validation", i)
+		}
+	}
+	// RWCost additionally requires ∆ > 0.
+	th := Theorem1{Gamma: 1, Delta: 0, DMax: 10, Lambda: 0.5}
+	if _, err := th.RWCost(); err == nil {
+		t.Error("RWCost with ∆=0 should error")
+	}
+}

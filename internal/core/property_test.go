@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/linalg"
+	"repro/internal/mathx"
+	"repro/internal/walk"
+)
+
+// TestPropertyUnbiasednessRandomGraphs drives the backward estimator across
+// randomized graphs, designs, targets, and heuristic combinations, checking
+// E[p̃_t(u)] = p_t(u) against the exact oracle within CLT tolerance.
+func TestPropertyUnbiasednessRandomGraphs(t *testing.T) {
+	prop := func(seed int64, useMHRW, useCrawl, useHist bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(10)
+		g := gen.BarabasiAlbert(n, 2, rng)
+		c := newClient(g, seed+1)
+		start := rng.Intn(n)
+		steps := 2 + rng.Intn(4)
+		u := rng.Intn(n)
+
+		var d walk.Design = walk.SRW{}
+		var m *linalg.Matrix = linalg.NewSRW(g)
+		if useMHRW {
+			d = walk.MHRW{}
+			m = linalg.NewMHRW(g)
+		}
+		exact := m.DistFrom(start, steps)[u]
+
+		e := &Estimator{Client: c, Design: d, Start: start}
+		if useCrawl {
+			ct, err := BuildCrawlTable(c, d, start, 1+rng.Intn(2))
+			if err != nil {
+				return false
+			}
+			e.Crawl = ct
+		}
+		if useHist {
+			h := NewHistory()
+			for i := 0; i < 30; i++ {
+				h.RecordWalk(walk.Path(c, d, start, steps, rng))
+			}
+			e.Hist = h
+		}
+
+		const reps = 12000
+		var mo mathx.Moments
+		for i := 0; i < reps; i++ {
+			v, err := e.EstimateOnce(u, steps, rng)
+			if err != nil {
+				return false
+			}
+			mo.Add(v)
+		}
+		se := mo.StdDev() / math.Sqrt(reps)
+		return math.Abs(mo.Mean()-exact) <= 6*se+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRejectionReachesTarget verifies end-to-end that WALK-ESTIMATE's
+// accepted stream follows the input design's target distribution on random
+// small graphs (chi-square-like bound per node).
+func TestPropertyRejectionReachesTarget(t *testing.T) {
+	prop := func(seed int64, useMHRW bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(8)
+		g := gen.BarabasiAlbert(n, 2, rng)
+		c := newClient(g, seed+2)
+
+		var d walk.Design = walk.SRW{}
+		if useMHRW {
+			d = walk.MHRW{}
+		}
+		cfg := Config{
+			Design:     d,
+			Start:      rng.Intn(n),
+			WalkLength: 2*g.Diameter() + 1,
+			UseCrawl:   true,
+			CrawlHops:  1,
+		}
+		s, err := NewSampler(c, cfg, rng)
+		if err != nil {
+			return false
+		}
+		const samples = 3000
+		counts := make([]float64, n)
+		for i := 0; i < samples; i++ {
+			v, err := s.Sample()
+			if err != nil {
+				return false
+			}
+			counts[v]++
+		}
+		// Expected counts under the target.
+		var target []float64
+		if useMHRW {
+			target = linalg.UniformStationary(n)
+		} else {
+			target, err = linalg.SRWStationary(g)
+			if err != nil {
+				return false
+			}
+		}
+		for v := 0; v < n; v++ {
+			want := target[v] * samples
+			if want < 50 {
+				continue
+			}
+			// Allow a wide statistical band; systematic bias would blow it.
+			if counts[v] < 0.45*want || counts[v] > 2.2*want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCrawlTableIsExact cross-validates crawl tables against the
+// oracle on random graphs and designs.
+func TestPropertyCrawlTableIsExact(t *testing.T) {
+	prop := func(seed int64, useMHRW bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(25)
+		g := gen.ErdosRenyiGNP(n, 0.25, rng)
+		c := newClient(g, seed+3)
+		start := rng.Intn(n)
+		h := 1 + rng.Intn(3)
+
+		var d walk.Design = walk.SRW{}
+		var m *linalg.Matrix = linalg.NewSRW(g)
+		if useMHRW {
+			d = walk.MHRW{}
+			m = linalg.NewMHRW(g)
+		}
+		ct, err := BuildCrawlTable(c, d, start, h)
+		if err != nil {
+			return false
+		}
+		for tau := 0; tau <= h; tau++ {
+			exact := m.DistFrom(start, tau)
+			for v := 0; v < n; v++ {
+				got, ok := ct.Lookup(v, tau)
+				if !ok || math.Abs(got-exact[v]) > 1e-10 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyAllocationSumsToBudget fuzzes the variance-budget allocator.
+func TestPropertyAllocationSumsToBudget(t *testing.T) {
+	prop := func(raw []float64, budgetRaw uint8) bool {
+		budget := int(budgetRaw)
+		vars := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 1
+			}
+			vars[i] = math.Mod(math.Abs(v), 100)
+		}
+		alloc := AllocateByVariance(vars, budget)
+		if len(alloc) != len(vars) {
+			return false
+		}
+		sum := 0
+		for i, a := range alloc {
+			if a < 0 {
+				return false
+			}
+			if vars[i] <= 0 && a > 0 {
+				// zero-variance targets only receive when everything is zero
+				allZero := true
+				for _, v := range vars {
+					if v > 0 {
+						allZero = false
+					}
+				}
+				if !allZero {
+					return false
+				}
+			}
+			sum += a
+		}
+		if len(vars) == 0 {
+			return sum == 0
+		}
+		return sum == budget
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ScaleBootstrap approximates the rejection-sampling scale factor
+// min_v p(v)/q(v) from the stream of observed ratios p̂_t(v)/q(v), as
+// described in Section 6.3.2: the paper takes the 10th percentile of the
+// estimated sampling probabilities (we keep the percentile configurable;
+// lower is more conservative/less biased, higher is more query-efficient).
+type ScaleBootstrap struct {
+	// Percentile in (0,1]; zero means the paper's default 0.10.
+	Percentile float64
+
+	ratios []float64
+	sorted bool
+}
+
+func (s *ScaleBootstrap) percentile() float64 {
+	if s.Percentile <= 0 || s.Percentile > 1 {
+		return 0.10
+	}
+	return s.Percentile
+}
+
+// Observe records a p̂/q ratio. Non-positive ratios (e.g. a backward
+// estimate of exactly 0) are ignored: they carry no scale information.
+func (s *ScaleBootstrap) Observe(ratio float64) {
+	if ratio <= 0 {
+		return
+	}
+	s.ratios = append(s.ratios, ratio)
+	s.sorted = false
+}
+
+// N returns how many ratios have been observed.
+func (s *ScaleBootstrap) N() int { return len(s.ratios) }
+
+// Scale returns the current scale-factor approximation. With no
+// observations it returns 0 (callers should then accept unconditionally —
+// the very first candidate has nothing to be compared against).
+func (s *ScaleBootstrap) Scale() float64 {
+	if len(s.ratios) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.ratios)
+		s.sorted = true
+	}
+	idx := int(s.percentile() * float64(len(s.ratios)-1))
+	return s.ratios[idx]
+}
+
+// AcceptProb returns the acceptance probability β for a candidate with
+// estimated sampling probability pHat and target weight q (Equation 5 with
+// the bootstrapped scale): β = clamp(scale · q / p̂, 0, 1). A non-positive
+// pHat yields 1 — an unobservably rare candidate is always kept.
+func (s *ScaleBootstrap) AcceptProb(pHat, q float64) (float64, error) {
+	if q <= 0 {
+		return 0, fmt.Errorf("core: target weight must be positive, got %v", q)
+	}
+	if pHat <= 0 {
+		return 1, nil
+	}
+	scale := s.Scale()
+	if scale <= 0 {
+		return 1, nil
+	}
+	beta := scale * q / pHat
+	if beta > 1 {
+		beta = 1
+	}
+	return beta, nil
+}

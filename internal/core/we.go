@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mathx"
+	"repro/internal/osn"
+	"repro/internal/walk"
+)
+
+// Config parameterizes a WALK-ESTIMATE sampler. The zero value is not
+// usable: Design, Start and WalkLength must be set. Defaults follow the
+// paper's experimental settings (Section 7.1).
+type Config struct {
+	// Design is the input MCMC sampler WE replaces (SRW or MHRW). WE
+	// produces samples from the same target distribution.
+	Design walk.Design
+	// Start is the walk's starting node.
+	Start int
+	// WalkLength is t, the fixed number of forward steps per candidate.
+	// The paper sets it to 2·D̄+1 where D̄ is a conservative diameter
+	// estimate (e.g. 15 for Google Plus with D̄ = 7).
+	WalkLength int
+	// UseCrawl enables the initial-crawling heuristic (Section 5.2).
+	UseCrawl bool
+	// CrawlHops is h, the crawl radius; zero means 2 (the paper's default
+	// for most datasets; it uses 1 for the dense Google Plus graph).
+	CrawlHops int
+	// UseWeighted enables the weighted backward sampling heuristic
+	// (Section 5.3).
+	UseWeighted bool
+	// Epsilon is WS-BW's uniform mixing mass; zero means 0.1.
+	Epsilon float64
+	// BackwardReps is the base number of backward walks per candidate
+	// estimate; zero means 3.
+	BackwardReps int
+	// VarianceBudget caps the extra adaptive backward walks spent when an
+	// estimate is still noisy (relative standard error above 1); zero
+	// disables the top-up. This realizes Algorithm 3's variance-driven
+	// budget allocation in the per-candidate sampling loop; EstimateAll is
+	// the batch form.
+	VarianceBudget int
+	// ScalePercentile feeds ScaleBootstrap; zero means 0.10.
+	ScalePercentile float64
+	// MaxAttempts bounds rejection rounds per sample; zero means 10000.
+	MaxAttempts int
+}
+
+func (c *Config) validate() error {
+	if c.Design == nil {
+		return fmt.Errorf("core: Config.Design is required")
+	}
+	if c.WalkLength < 1 {
+		return fmt.Errorf("core: WalkLength must be >= 1, got %d", c.WalkLength)
+	}
+	if c.Start < 0 {
+		return fmt.Errorf("core: Start must be a node id, got %d", c.Start)
+	}
+	return nil
+}
+
+func (c *Config) crawlHops() int {
+	if c.CrawlHops <= 0 {
+		return 2
+	}
+	return c.CrawlHops
+}
+
+func (c *Config) backwardReps() int {
+	if c.BackwardReps <= 0 {
+		return 3
+	}
+	return c.BackwardReps
+}
+
+func (c *Config) maxAttempts() int {
+	if c.MaxAttempts <= 0 {
+		return 10000
+	}
+	return c.MaxAttempts
+}
+
+// Sampler is the composed WALK-ESTIMATE sampler (Algorithm overview in
+// Section 3): short forward walk → backward probability estimate →
+// acceptance-rejection against the input design's target distribution.
+// Create with NewSampler; not safe for concurrent use.
+type Sampler struct {
+	cfg  Config
+	c    *osn.Client
+	rng  *rand.Rand
+	est  *Estimator
+	hist *History
+	boot ScaleBootstrap
+
+	forwardSteps int64
+	attempts     int64
+	accepted     int64
+}
+
+// NewSampler builds a WALK-ESTIMATE sampler over the given metered client.
+// If cfg.UseCrawl is set, the initial crawl happens here and its queries are
+// charged to the client immediately.
+func NewSampler(c *osn.Client, cfg Config, rng *rand.Rand) (*Sampler, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Sampler{cfg: cfg, c: c, rng: rng}
+	s.boot.Percentile = cfg.ScalePercentile
+	var crawl *CrawlTable
+	if cfg.UseCrawl {
+		var err error
+		crawl, err = BuildCrawlTable(c, cfg.Design, cfg.Start, cfg.crawlHops())
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.UseWeighted {
+		s.hist = NewHistory()
+	}
+	s.est = &Estimator{
+		Client:  c,
+		Design:  cfg.Design,
+		Start:   cfg.Start,
+		Crawl:   crawl,
+		Hist:    s.hist,
+		Epsilon: cfg.Epsilon,
+	}
+	return s, nil
+}
+
+// Sample draws one node from the target distribution. It walks, estimates,
+// and rejects until a candidate is accepted (bounded by MaxAttempts).
+func (s *Sampler) Sample() (int, error) {
+	t := s.cfg.WalkLength
+	for attempt := 0; attempt < s.cfg.maxAttempts(); attempt++ {
+		s.attempts++
+		path := walk.Path(s.c, s.cfg.Design, s.cfg.Start, t, s.rng)
+		s.forwardSteps += int64(t)
+		if s.hist != nil {
+			s.hist.RecordWalk(path)
+		}
+		v := path[len(path)-1]
+
+		pHat, err := s.estimateCandidate(v, t)
+		if err != nil {
+			return 0, err
+		}
+		q := s.cfg.Design.TargetWeight(s.c, v)
+		if q <= 0 {
+			continue // invisible-degree node; cannot weigh it, skip
+		}
+		s.boot.Observe(pHat / q)
+		beta, err := s.boot.AcceptProb(pHat, q)
+		if err != nil {
+			return 0, err
+		}
+		if s.rng.Float64() < beta {
+			s.accepted++
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("core: no candidate accepted after %d attempts (walk length %d likely far too short for this graph)", s.cfg.maxAttempts(), t)
+}
+
+// estimateCandidate runs the base backward repetitions plus the adaptive
+// variance top-up for a single candidate.
+func (s *Sampler) estimateCandidate(v, t int) (float64, error) {
+	var m mathx.Moments
+	base := s.cfg.backwardReps()
+	for i := 0; i < base; i++ {
+		e, err := s.est.EstimateOnce(v, t, s.rng)
+		if err != nil {
+			return 0, err
+		}
+		m.Add(e)
+	}
+	for extra := 0; extra < s.cfg.VarianceBudget; extra++ {
+		mean := m.Mean()
+		if mean > 0 && m.StdDev()/mean <= 1 {
+			break
+		}
+		e, err := s.est.EstimateOnce(v, t, s.rng)
+		if err != nil {
+			return 0, err
+		}
+		m.Add(e)
+	}
+	return m.Mean(), nil
+}
+
+// SampleN draws n samples, recording the cumulative query cost and total
+// walk steps (forward + backward) after each, in the same shape the
+// traditional samplers report.
+func (s *Sampler) SampleN(n int) (walk.Result, error) {
+	res := walk.Result{
+		Nodes:     make([]int, 0, n),
+		Steps:     make([]int, 0, n),
+		CostAfter: make([]int64, 0, n),
+	}
+	for i := 0; i < n; i++ {
+		prevSteps := s.TotalSteps()
+		v, err := s.Sample()
+		if err != nil {
+			return res, err
+		}
+		res.Nodes = append(res.Nodes, v)
+		res.Steps = append(res.Steps, int(s.TotalSteps()-prevSteps))
+		res.CostAfter = append(res.CostAfter, s.c.Queries())
+	}
+	return res, nil
+}
+
+// AcceptanceRate returns accepted/attempted candidates so far (0 before the
+// first sample).
+func (s *Sampler) AcceptanceRate() float64 {
+	if s.attempts == 0 {
+		return 0
+	}
+	return float64(s.accepted) / float64(s.attempts)
+}
+
+// TotalSteps returns forward plus backward walk steps taken so far — the
+// y-axis of Figure 5.
+func (s *Sampler) TotalSteps() int64 {
+	return s.forwardSteps + s.est.StepsTaken
+}
+
+// ForwardSteps returns the forward-walk steps taken so far.
+func (s *Sampler) ForwardSteps() int64 { return s.forwardSteps }
+
+// BackwardSteps returns the backward-walk steps taken so far.
+func (s *Sampler) BackwardSteps() int64 { return s.est.StepsTaken }
+
+// EstimateAll is the batch form of Algorithm 3 (ESTIMATE): it estimates
+// p_t(u) for every node in nodes with baseReps backward walks each, then
+// spends extraBudget additional walks allocated proportionally to the
+// per-node estimation variances, and returns the merged estimates.
+func EstimateAll(e *Estimator, nodes []int, t, baseReps, extraBudget int, rng *rand.Rand) (map[int]float64, error) {
+	if baseReps < 1 {
+		return nil, fmt.Errorf("core: baseReps must be >= 1, got %d", baseReps)
+	}
+	moments := make([]mathx.Moments, len(nodes))
+	variances := make([]float64, len(nodes))
+	for i, u := range nodes {
+		for r := 0; r < baseReps; r++ {
+			v, err := e.EstimateOnce(u, t, rng)
+			if err != nil {
+				return nil, err
+			}
+			moments[i].Add(v)
+		}
+		variances[i] = moments[i].Variance()
+	}
+	for i, extra := range AllocateByVariance(variances, extraBudget) {
+		for r := 0; r < extra; r++ {
+			v, err := e.EstimateOnce(nodes[i], t, rng)
+			if err != nil {
+				return nil, err
+			}
+			moments[i].Add(v)
+		}
+	}
+	out := make(map[int]float64, len(nodes))
+	for i, u := range nodes {
+		out[u] = moments[i].Mean()
+	}
+	return out, nil
+}

@@ -1,0 +1,186 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/osn"
+)
+
+func TestGooglePlusSurrogate(t *testing.T) {
+	ds, err := GooglePlus(0.05, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	if !g.IsConnected() {
+		t.Fatal("surrogate must be connected")
+	}
+	// Density shape: average degree far above the m of sparse models.
+	if g.AvgDegree() < 10 {
+		t.Fatalf("GPlus avg degree = %v, too sparse", g.AvgDegree())
+	}
+	if ds.DiameterUB != 7 || ds.CrawlHops != 1 {
+		t.Fatalf("paper settings: D̄=%d h=%d", ds.DiameterUB, ds.CrawlHops)
+	}
+	if ds.WalkLength() != 15 {
+		t.Fatalf("walk length = %d, want 15", ds.WalkLength())
+	}
+	// Self-description attribute present, positive truth.
+	if ds.Truth[AttrSelfDesc] <= 0 {
+		t.Fatal("selfdesc truth must be positive")
+	}
+	if ds.Truth[osn.AttrDegree] != g.AvgDegree() {
+		t.Fatal("degree truth mismatch")
+	}
+	// Start node is the max-degree node.
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.Degree(v) > g.Degree(ds.StartNode) {
+			t.Fatal("start node is not max-degree")
+		}
+	}
+}
+
+func TestGooglePlusFullScaleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale surrogate in -short mode")
+	}
+	ds, err := GooglePlus(1.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	if g.NumNodes() != 16405 {
+		t.Fatalf("nodes = %d, want 16405", g.NumNodes())
+	}
+	// Paper: ~4.5M connections, avg degree 560.44. BA gives 2m(n-m)/n ≈ 550.
+	if math.Abs(g.AvgDegree()-560) > 30 {
+		t.Fatalf("avg degree = %v, want ≈560", g.AvgDegree())
+	}
+}
+
+func TestYelpSurrogate(t *testing.T) {
+	ds, err := Yelp(0.01, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	if !g.IsConnected() {
+		t.Fatal("Yelp surrogate must be connected")
+	}
+	// Star ratings live on [1,5].
+	c := osn.NewClient(ds.Net, osn.CostUniqueNodes, rand.New(rand.NewSource(1)))
+	for v := 0; v < 50; v++ {
+		s, err := c.Attr(AttrStars, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < 1 || s > 5 {
+			t.Fatalf("stars[%d] = %v", v, s)
+		}
+	}
+	if tr := ds.Truth[AttrStars]; tr < 2.5 || tr > 4.8 {
+		t.Fatalf("stars truth = %v", tr)
+	}
+	// Co-review graphs have substantial clustering.
+	if cc := ds.Truth[AttrClustering]; cc < 0.1 {
+		t.Fatalf("clustering truth = %v, surrogate should be clustered", cc)
+	}
+	// Mean path consistent with a small-world graph.
+	if ap := ds.Truth[AttrAvgPath]; ap < 1 || ap > 10 {
+		t.Fatalf("avgpath truth = %v", ap)
+	}
+	// Lazy attributes evaluate per node.
+	cl, err := c.Attr(AttrClustering, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cl-g.LocalClustering(3)) > 1e-12 {
+		t.Fatal("lazy clustering attribute mismatch")
+	}
+	ap, err := c.Attr(AttrAvgPath, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap <= 0 {
+		t.Fatal("avgpath attribute must be positive")
+	}
+}
+
+func TestTwitterSurrogate(t *testing.T) {
+	ds, err := Twitter(0.01, 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	if !g.IsConnected() {
+		t.Fatal("Twitter surrogate must be connected")
+	}
+	c := osn.NewClient(ds.Net, osn.CostUniqueNodes, rand.New(rand.NewSource(2)))
+	for v := 0; v < 50; v++ {
+		in, err := c.Attr(AttrInDegree, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := c.Attr(AttrOutDegree, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := float64(g.Degree(v))
+		if in < d || out < d {
+			t.Fatalf("directed degrees must dominate mutual degree: in=%v out=%v d=%v", in, out, d)
+		}
+	}
+	// Followers are heavier-tailed than followees on average.
+	if ds.Truth[AttrInDegree] <= ds.Truth[AttrOutDegree] {
+		t.Fatalf("in-degree truth %v should exceed out-degree truth %v",
+			ds.Truth[AttrInDegree], ds.Truth[AttrOutDegree])
+	}
+}
+
+func TestSmallScaleFreeMatchesPaper(t *testing.T) {
+	ds := SmallScaleFree(45)
+	if ds.Graph.NumNodes() != 1000 {
+		t.Fatalf("nodes = %d", ds.Graph.NumNodes())
+	}
+	if ds.Graph.NumEdges() != 6951 {
+		t.Fatalf("edges = %d, want 6951 (paper's exact-bias graph)", ds.Graph.NumEdges())
+	}
+}
+
+func TestSyntheticBA(t *testing.T) {
+	ds, err := SyntheticBA(2000, 46)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Graph.NumNodes() != 2000 || ds.Graph.NumEdges() != 5*(2000-5) {
+		t.Fatalf("n=%d m=%d", ds.Graph.NumNodes(), ds.Graph.NumEdges())
+	}
+	if _, err := SyntheticBA(3, 1); err == nil {
+		t.Fatal("tiny n should error")
+	}
+}
+
+func TestScaleValidation(t *testing.T) {
+	if _, err := GooglePlus(0, 1); err == nil {
+		t.Error("scale 0 should error")
+	}
+	if _, err := Yelp(1.5, 1); err == nil {
+		t.Error("scale >1 should error")
+	}
+	if _, err := Twitter(-0.1, 1); err == nil {
+		t.Error("negative scale should error")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Yelp(0.01, 99)
+	b, _ := Yelp(0.01, 99)
+	if a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatal("same seed must give same graph")
+	}
+	if a.Truth[AttrStars] != b.Truth[AttrStars] {
+		t.Fatal("same seed must give same attributes")
+	}
+}

@@ -1,0 +1,180 @@
+// Package exp reproduces every table and figure of the paper's evaluation
+// (Section 7) plus the theoretical case studies (Section 4.2): one typed
+// runner per experiment, each emitting the same series/rows the paper
+// reports, rendered as plain-text tables. DESIGN.md carries the experiment
+// index; EXPERIMENTS.md records paper-vs-measured values.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Point is one (x, y) datum of a series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named line of points (one legend entry of a figure).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Result is one figure panel or table: labeled series over labeled axes.
+type Result struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Render writes the result as an aligned text table: one x column per
+// distinct x, one column per series. Series with disjoint x-grids are
+// printed block-wise.
+func (r Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "## %s\n", r.Title); err != nil {
+		return err
+	}
+	if len(r.Series) == 0 {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	if sharedGrid(r.Series) {
+		return r.renderShared(w)
+	}
+	for _, s := range r.Series {
+		if _, err := fmt.Fprintf(w, "# %s\n%-14s %-14s\n", s.Name, r.XLabel, r.YLabel); err != nil {
+			return err
+		}
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%-14s %-14s\n", fmtNum(p.X), fmtNum(p.Y)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (r Result) renderShared(w io.Writer) error {
+	header := []string{r.XLabel}
+	for _, s := range r.Series {
+		header = append(header, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(pad(header), " ")); err != nil {
+		return err
+	}
+	for i, p := range r.Series[0].Points {
+		row := []string{fmtNum(p.X)}
+		for _, s := range r.Series {
+			row = append(row, fmtNum(s.Points[i].Y))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(pad(row), " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sharedGrid(series []Series) bool {
+	for _, s := range series[1:] {
+		if len(s.Points) != len(series[0].Points) {
+			return false
+		}
+		for i := range s.Points {
+			if s.Points[i].X != series[0].Points[i].X {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func pad(cells []string) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		out[i] = fmt.Sprintf("%-14s", c)
+	}
+	return out
+}
+
+func fmtNum(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 0.01:
+		return fmt.Sprintf("%.4f", v)
+	default:
+		return fmt.Sprintf("%.3e", v)
+	}
+}
+
+// Options tunes the experiment budgets. The zero value picks defaults sized
+// for an interactive run (a few minutes per dataset figure); the paper-scale
+// settings (Trials=100, Scale=1) are available through the weexp CLI flags.
+type Options struct {
+	// Seed drives all randomness; runs are reproducible per seed.
+	Seed int64
+	// Scale shrinks the dataset surrogates (0 < Scale <= 1); 0 means 0.25.
+	Scale float64
+	// Trials is the number of independent repetitions averaged per data
+	// point (paper: 100); 0 means 15.
+	Trials int
+	// Samples is the number of samples drawn per trial; 0 means 100.
+	Samples int
+	// GewekeThreshold for the baseline convergence monitor; 0 means 0.1.
+	GewekeThreshold float64
+	// MaxWalkSteps caps each baseline walk; 0 means 2000.
+	MaxWalkSteps int
+	// BiasSamples is the sample count for the exact-bias experiments
+	// (Figure 12 / Table 1); 0 means 200000.
+	BiasSamples int
+}
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 || o.Scale > 1 {
+		return 0.25
+	}
+	return o.Scale
+}
+
+func (o Options) trials() int {
+	if o.Trials <= 0 {
+		return 15
+	}
+	return o.Trials
+}
+
+func (o Options) samples() int {
+	if o.Samples <= 0 {
+		return 100
+	}
+	return o.Samples
+}
+
+func (o Options) gewekeThreshold() float64 {
+	if o.GewekeThreshold <= 0 {
+		return 0.1
+	}
+	return o.GewekeThreshold
+}
+
+func (o Options) maxWalkSteps() int {
+	if o.MaxWalkSteps <= 0 {
+		return 2000
+	}
+	return o.MaxWalkSteps
+}
+
+func (o Options) biasSamples() int {
+	if o.BiasSamples <= 0 {
+		return 200000
+	}
+	return o.BiasSamples
+}

@@ -1,0 +1,298 @@
+// Package osn simulates the restrictive web interface of an online social
+// network, which is the access model the whole paper builds on (Section 2.1):
+// a third party can only issue local-neighborhood queries — give a node,
+// receive its neighbor list — and pays a query cost for each node accessed.
+//
+// The package separates the hidden ground truth (Network: full topology plus
+// per-node attributes) from the metered third-party view (Client: cached
+// neighbor queries, query-cost accounting, simulated rate limiting, and the
+// neighbor-list access restrictions of Section 6.3.1).
+package osn
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Network is the server side of the simulated social network: the complete
+// graph and node attributes, which samplers must not touch directly.
+// Construct with NewNetwork; access through a Client.
+type Network struct {
+	g           *graph.Graph
+	attrs       map[string][]float64
+	attrFns     map[string]func(int) float64
+	attrCache   map[string]map[int]float64
+	restriction Restriction
+	rateLimit   *RateLimit
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithAttribute attaches a numeric per-node attribute (e.g. star rating,
+// self-description word count). values must have length NumNodes().
+func WithAttribute(name string, values []float64) Option {
+	return func(n *Network) { n.attrs[name] = values }
+}
+
+// WithAttrFunc attaches a lazily-computed per-node attribute (e.g. local
+// clustering coefficient or mean shortest-path length, which are too
+// expensive to precompute for every node of a large graph). Values are
+// memoized per node. TrueMean is unavailable for function attributes — the
+// dataset layer records ground truth for those separately.
+func WithAttrFunc(name string, fn func(node int) float64) Option {
+	return func(n *Network) { n.attrFns[name] = fn }
+}
+
+// WithRestriction installs a neighbor-list access restriction (§6.3.1).
+func WithRestriction(r Restriction) Option {
+	return func(n *Network) { n.restriction = r }
+}
+
+// WithRateLimit installs a simulated query rate limit (e.g. Twitter's 15
+// requests per 15 minutes).
+func WithRateLimit(perWindow int, window time.Duration) Option {
+	return func(n *Network) { n.rateLimit = &RateLimit{PerWindow: perWindow, Window: window} }
+}
+
+// NewNetwork wraps a graph as a simulated online social network.
+func NewNetwork(g *graph.Graph, opts ...Option) *Network {
+	n := &Network{
+		g:         g,
+		attrs:     make(map[string][]float64),
+		attrFns:   make(map[string]func(int) float64),
+		attrCache: make(map[string]map[int]float64),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	for name, vals := range n.attrs {
+		if len(vals) != g.NumNodes() {
+			panic(fmt.Sprintf("osn: attribute %q has %d values for %d nodes", name, len(vals), g.NumNodes()))
+		}
+	}
+	return n
+}
+
+// Graph exposes the underlying ground-truth topology for *evaluation only*
+// (computing exact aggregates to measure estimator error). Samplers must use
+// a Client.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// NumNodes returns the hidden |V| (evaluation only).
+func (n *Network) NumNodes() int { return n.g.NumNodes() }
+
+// TrueMean returns the exact population mean of an attribute, or of degree
+// when name is "degree" and the attribute table has no explicit entry.
+// This is the ground truth for the paper's relative-error measure.
+func (n *Network) TrueMean(name string) (float64, error) {
+	if vals, ok := n.attrs[name]; ok {
+		sum := 0.0
+		for _, v := range vals {
+			sum += v
+		}
+		return sum / float64(len(vals)), nil
+	}
+	if name == AttrDegree {
+		return n.g.AvgDegree(), nil
+	}
+	return 0, fmt.Errorf("osn: unknown attribute %q", name)
+}
+
+// AttrNames lists the attributes attached to the network (table and
+// function attributes alike), in unspecified order.
+func (n *Network) AttrNames() []string {
+	names := make([]string, 0, len(n.attrs)+len(n.attrFns))
+	for name := range n.attrs {
+		names = append(names, name)
+	}
+	for name := range n.attrFns {
+		names = append(names, name)
+	}
+	return names
+}
+
+// attrValue resolves an attribute for one node, consulting the table first,
+// then the memoized function attributes.
+func (n *Network) attrValue(name string, v int) (float64, bool) {
+	if vals, ok := n.attrs[name]; ok {
+		return vals[v], true
+	}
+	fn, ok := n.attrFns[name]
+	if !ok {
+		return 0, false
+	}
+	cache := n.attrCache[name]
+	if cache == nil {
+		cache = make(map[int]float64)
+		n.attrCache[name] = cache
+	}
+	if val, hit := cache[v]; hit {
+		return val, true
+	}
+	val := fn(v)
+	cache[v] = val
+	return val, true
+}
+
+// AttrDegree is the pseudo-attribute name for node degree; every network
+// supports it implicitly.
+const AttrDegree = "degree"
+
+// RateLimit describes a query budget per time window.
+type RateLimit struct {
+	PerWindow int
+	Window    time.Duration
+}
+
+// CostMode selects how a Client charges queries.
+type CostMode int
+
+const (
+	// CostUniqueNodes charges one query per distinct node whose neighbor list
+	// is requested (repeat lookups hit the cache). This is the paper's
+	// "number of nodes it has to access" and the default.
+	CostUniqueNodes CostMode = iota
+	// CostPerCall charges every call, as when the platform forbids caching
+	// or the crawler is stateless.
+	CostPerCall
+)
+
+// Client is a metered third-party view of a Network. It is not safe for
+// concurrent use; create one Client per sampler run.
+type Client struct {
+	net      *Network
+	rng      *rand.Rand
+	mode     CostMode
+	cache    map[int32][]int32
+	queried  map[int32]bool
+	queries  int64
+	calls    int64
+	waited   time.Duration
+	inWindow int
+}
+
+// NewClient creates a client with its own cache and cost counters. rng
+// drives restriction sampling (type-1 restrictions return fresh random
+// subsets per call) and must not be nil when restrictions are installed.
+func NewClient(net *Network, mode CostMode, rng *rand.Rand) *Client {
+	return &Client{
+		net:     net,
+		rng:     rng,
+		mode:    mode,
+		cache:   make(map[int32][]int32),
+		queried: make(map[int32]bool),
+	}
+}
+
+// Neighbors issues the local-neighborhood query for v and returns its
+// (possibly restricted) neighbor list. The result must not be modified.
+func (c *Client) Neighbors(v int) []int32 {
+	vv := int32(v)
+	if c.net.restriction == nil || c.net.restriction.Deterministic() {
+		if nbr, ok := c.cache[vv]; ok {
+			return nbr
+		}
+	}
+	c.charge(vv)
+	full := c.net.g.Neighbors(v)
+	nbr := full
+	if c.net.restriction != nil {
+		nbr = c.net.restriction.Apply(full, v, c.rng)
+	}
+	if c.net.restriction == nil || c.net.restriction.Deterministic() {
+		c.cache[vv] = nbr
+	}
+	return nbr
+}
+
+// Degree returns the number of neighbors visible through the interface
+// (which under truncation restrictions may be less than the true degree).
+func (c *Client) Degree(v int) int { return len(c.Neighbors(v)) }
+
+// Attr returns the named attribute of v, or the visible degree for
+// AttrDegree. Accessing an attribute of a node not yet queried counts as a
+// node access (you must fetch the profile page).
+func (c *Client) Attr(name string, v int) (float64, error) {
+	if name == AttrDegree {
+		if _, ok := c.net.attrs[AttrDegree]; !ok {
+			return float64(c.Degree(v)), nil
+		}
+	}
+	val, ok := c.net.attrValue(name, v)
+	if !ok {
+		return 0, fmt.Errorf("osn: unknown attribute %q", name)
+	}
+	if !c.queried[int32(v)] {
+		c.charge(int32(v))
+	}
+	return val, nil
+}
+
+// EdgeVisible performs the paper's bidirectional check (§6.3.1): the edge
+// {u,v} is traversable only if v ∈ N(u) and u ∈ N(v) under the restricted
+// interface. Both lookups are charged normally.
+func (c *Client) EdgeVisible(u, v int) bool {
+	return contains(c.Neighbors(u), int32(v)) && contains(c.Neighbors(v), int32(u))
+}
+
+func contains(xs []int32, x int32) bool {
+	for _, e := range xs {
+		if e == x {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Client) charge(v int32) {
+	c.calls++
+	switch c.mode {
+	case CostUniqueNodes:
+		if !c.queried[v] {
+			c.queried[v] = true
+			c.queries++
+		}
+	case CostPerCall:
+		c.queried[v] = true
+		c.queries++
+	}
+	if rl := c.net.rateLimit; rl != nil && rl.PerWindow > 0 {
+		c.inWindow++
+		if c.inWindow > rl.PerWindow {
+			c.waited += rl.Window
+			c.inWindow = 1
+		}
+	}
+}
+
+// Queries returns the accumulated query cost under the client's CostMode.
+func (c *Client) Queries() int64 { return c.queries }
+
+// Calls returns the total number of interface calls, cached or not.
+func (c *Client) Calls() int64 { return c.calls }
+
+// Waited returns the total simulated rate-limit wait time.
+func (c *Client) Waited() time.Duration { return c.waited }
+
+// ResetCost zeroes the query and call counters (the cache is kept; use a
+// fresh Client to drop it).
+func (c *Client) ResetCost() {
+	c.queries = 0
+	c.calls = 0
+	c.waited = 0
+	c.inWindow = 0
+}
+
+// KnownNodes returns the ids of all nodes whose neighbor lists have been
+// requested so far (the crawler's frontier knowledge).
+func (c *Client) KnownNodes() []int {
+	out := make([]int, 0, len(c.queried))
+	for v := range c.queried {
+		out = append(out, int(v))
+	}
+	return out
+}

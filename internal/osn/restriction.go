@@ -1,0 +1,127 @@
+package osn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Restriction models the neighbor-list access restrictions of §6.3.1:
+//
+//	type (1) — each invocation returns k neighbors chosen fresh at random;
+//	type (2) — each invocation returns the same fixed random k neighbors;
+//	type (3) — each invocation returns at most the first l neighbors
+//	           (Twitter's 5000-follower page is the motivating case).
+//
+// Apply must not modify full; it may return full itself when no trimming is
+// needed. Deterministic reports whether repeated calls for the same node
+// yield identical results (and may therefore be cached by the Client).
+type Restriction interface {
+	Apply(full []int32, node int, rng *rand.Rand) []int32
+	Deterministic() bool
+}
+
+// RandomK is restriction type (1): a fresh uniformly random subset of k
+// neighbors per invocation.
+type RandomK struct{ K int }
+
+// Apply implements Restriction.
+func (r RandomK) Apply(full []int32, _ int, rng *rand.Rand) []int32 {
+	if len(full) <= r.K {
+		return full
+	}
+	out := make([]int32, r.K)
+	// Floyd's algorithm for a uniform k-subset.
+	seen := make(map[int32]bool, r.K)
+	idx := 0
+	for j := len(full) - r.K; j < len(full); j++ {
+		t := int32(rng.Intn(j + 1))
+		if seen[t] {
+			t = int32(j)
+		}
+		seen[t] = true
+		out[idx] = full[t]
+		idx++
+	}
+	return out
+}
+
+// Deterministic implements Restriction.
+func (r RandomK) Deterministic() bool { return false }
+
+// FixedK is restriction type (2): the platform pins a random k-subset per
+// node (stable across invocations). The subset is derived from Seed and the
+// node id, so all clients of the same network see the same view.
+type FixedK struct {
+	K    int
+	Seed int64
+}
+
+// Apply implements Restriction.
+func (r FixedK) Apply(full []int32, node int, _ *rand.Rand) []int32 {
+	if len(full) <= r.K {
+		return full
+	}
+	mix := int64(uint64(node+1) * 0x9E3779B97F4A7C15)
+	local := rand.New(rand.NewSource(r.Seed ^ mix))
+	perm := local.Perm(len(full))
+	out := make([]int32, r.K)
+	for i := 0; i < r.K; i++ {
+		out[i] = full[perm[i]]
+	}
+	return out
+}
+
+// Deterministic implements Restriction.
+func (r FixedK) Deterministic() bool { return true }
+
+// TruncateL is restriction type (3): at most the first l entries of the
+// neighbor list are visible.
+type TruncateL struct{ L int }
+
+// Apply implements Restriction.
+func (r TruncateL) Apply(full []int32, _ int, _ *rand.Rand) []int32 {
+	if len(full) <= r.L {
+		return full
+	}
+	return full[:r.L]
+}
+
+// Deterministic implements Restriction.
+func (r TruncateL) Deterministic() bool { return true }
+
+// EstimateDegreeMarkRecapture estimates the true degree of node v under a
+// type-1 (RandomK) restriction using the Petersen mark-recapture estimator
+// the paper points to (§6.3.1, [20,34]): two independent invocations return
+// samples S1, S2 of size k; with overlap o, the degree estimate is
+// |S1|·|S2|/o. rounds > 1 averages over repeated pairs for stability.
+// It returns an error if every pair had an empty overlap (degree >> k).
+func EstimateDegreeMarkRecapture(c *Client, v, rounds int) (float64, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	est := 0.0
+	valid := 0
+	for i := 0; i < rounds; i++ {
+		s1 := append([]int32(nil), c.Neighbors(v)...)
+		s2 := c.Neighbors(v)
+		mark := make(map[int32]bool, len(s1))
+		for _, x := range s1 {
+			mark[x] = true
+		}
+		overlap := 0
+		for _, x := range s2 {
+			if mark[x] {
+				overlap++
+			}
+		}
+		if overlap == 0 {
+			continue
+		}
+		est += float64(len(s1)) * float64(len(s2)) / float64(overlap)
+		valid++
+	}
+	if valid == 0 {
+		return 0, fmt.Errorf("osn: mark-recapture saw no overlap for node %d after %d rounds", v, rounds)
+	}
+	return est / float64(valid), nil
+}

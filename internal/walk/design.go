@@ -1,0 +1,187 @@
+// Package walk implements the traditional random-walk machinery of Section 2:
+// transition designs (Simple Random Walk, Metropolis–Hastings Random Walk),
+// stepping over the restricted osn interface, the Geweke convergence monitor,
+// and the classic samplers WALK-ESTIMATE is benchmarked against — many short
+// runs with burn-in, and the one-long-run scheme of Section 6.1.
+package walk
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/osn"
+)
+
+// Design is an MCMC transition design driven purely through the restricted
+// local-neighborhood interface. Implementations must only learn about the
+// graph via the provided *osn.Client so query accounting stays faithful.
+type Design interface {
+	// Name identifies the design in logs and experiment output.
+	Name() string
+
+	// Step samples the next node of the walk from u. It may stay at u
+	// (self-loop) where the design prescribes so.
+	Step(c *osn.Client, u int, rng *rand.Rand) int
+
+	// Prob returns the transition probability p(u→v) computed from local
+	// information (degrees of u and v at most). v may equal u, in which
+	// case the self-loop probability is returned — note that for MHRW this
+	// requires querying all neighbors of u.
+	Prob(c *osn.Client, u, v int) float64
+
+	// SelfLoops reports whether the design can remain in place, i.e.
+	// whether u itself must be considered a predecessor candidate by the
+	// backward estimator.
+	SelfLoops() bool
+
+	// TargetWeight returns the unnormalized stationary density q(v) the
+	// design converges to: d(v) for SRW, 1 for MHRW. Rejection sampling
+	// only needs ratios, so no normalization constant is required.
+	TargetWeight(c *osn.Client, v int) float64
+}
+
+// SRW is the Simple Random Walk of Definition 1: from u, move to a uniformly
+// random neighbor. Its stationary distribution is proportional to degree.
+type SRW struct{}
+
+// Name implements Design.
+func (SRW) Name() string { return "SRW" }
+
+// Step implements Design. A node with no visible neighbors (possible under
+// §6.3.1 restrictions) keeps the walk in place.
+func (SRW) Step(c *osn.Client, u int, rng *rand.Rand) int {
+	nbr := c.Neighbors(u)
+	if len(nbr) == 0 {
+		return u
+	}
+	return int(nbr[rng.Intn(len(nbr))])
+}
+
+// Prob implements Design.
+func (SRW) Prob(c *osn.Client, u, v int) float64 {
+	nbr := c.Neighbors(u)
+	if len(nbr) == 0 {
+		if u == v {
+			return 1
+		}
+		return 0
+	}
+	if u == v {
+		return 0
+	}
+	for _, w := range nbr {
+		if int(w) == v {
+			return 1 / float64(len(nbr))
+		}
+	}
+	return 0
+}
+
+// SelfLoops implements Design: SRW never stays (except at stranded nodes).
+func (SRW) SelfLoops() bool { return false }
+
+// TargetWeight implements Design: SRW's stationary distribution is
+// proportional to degree.
+func (SRW) TargetWeight(c *osn.Client, v int) float64 {
+	return float64(c.Degree(v))
+}
+
+// MHRW is the Metropolis–Hastings Random Walk of Definition 2 with uniform
+// target distribution: propose a uniform neighbor v, accept with probability
+// min{1, |N(u)|/|N(v)|}, otherwise stay.
+type MHRW struct{}
+
+// Name implements Design.
+func (MHRW) Name() string { return "MHRW" }
+
+// Step implements Design.
+func (MHRW) Step(c *osn.Client, u int, rng *rand.Rand) int {
+	nbr := c.Neighbors(u)
+	if len(nbr) == 0 {
+		return u
+	}
+	v := int(nbr[rng.Intn(len(nbr))])
+	du, dv := len(nbr), c.Degree(v)
+	if dv == 0 {
+		return u
+	}
+	if du >= dv || rng.Float64()*float64(dv) < float64(du) {
+		return v
+	}
+	return u
+}
+
+// Prob implements Design. The self-loop probability p(u→u) requires the
+// degree of every neighbor of u; the client charges those queries, exactly
+// as a real crawler would pay them.
+func (MHRW) Prob(c *osn.Client, u, v int) float64 {
+	nbr := c.Neighbors(u)
+	if len(nbr) == 0 {
+		if u == v {
+			return 1
+		}
+		return 0
+	}
+	du := float64(len(nbr))
+	if u == v {
+		stay := 1.0
+		for _, w := range nbr {
+			dw := float64(c.Degree(int(w)))
+			if dw == 0 {
+				continue
+			}
+			stay -= minf(1/du, 1/dw)
+		}
+		if stay < 0 {
+			return 0
+		}
+		return stay
+	}
+	for _, w := range nbr {
+		if int(w) == v {
+			dv := float64(c.Degree(v))
+			if dv == 0 {
+				return 0
+			}
+			return minf(1/du, 1/dv)
+		}
+	}
+	return 0
+}
+
+// SelfLoops implements Design.
+func (MHRW) SelfLoops() bool { return true }
+
+// TargetWeight implements Design: MHRW targets the uniform distribution.
+func (MHRW) TargetWeight(*osn.Client, int) float64 { return 1 }
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ByName returns the design with the given name ("SRW" or "MHRW").
+func ByName(name string) (Design, error) {
+	switch name {
+	case "SRW", "srw":
+		return SRW{}, nil
+	case "MHRW", "mhrw":
+		return MHRW{}, nil
+	}
+	return nil, fmt.Errorf("walk: unknown design %q", name)
+}
+
+// Path performs a fixed-length walk and returns the visited nodes
+// (path[0] = start, len = steps+1).
+func Path(c *osn.Client, d Design, start, steps int, rng *rand.Rand) []int {
+	path := make([]int, steps+1)
+	path[0] = start
+	u := start
+	for i := 1; i <= steps; i++ {
+		u = d.Step(c, u, rng)
+		path[i] = u
+	}
+	return path
+}

@@ -1,0 +1,86 @@
+package walk
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// GelmanRubin computes the potential scale reduction factor R̂ of Gelman and
+// Rubin — the multi-chain convergence diagnostic the paper lists alongside
+// Geweke (Section 8, [11]). Given m >= 2 chains of equal length n holding an
+// attribute trace each (e.g. degrees along parallel walks from different
+// starts), it returns
+//
+//	R̂ = sqrt( ((n−1)/n · W + B/n) / W )
+//
+// with W the mean within-chain variance and B/n the between-chain variance
+// of the chain means. Values near 1 indicate the chains have mixed into the
+// same distribution; the conventional threshold is R̂ < 1.1.
+func GelmanRubin(chains [][]float64) (float64, error) {
+	m := len(chains)
+	if m < 2 {
+		return 0, fmt.Errorf("walk: Gelman-Rubin needs >= 2 chains, got %d", m)
+	}
+	n := len(chains[0])
+	if n < 2 {
+		return 0, fmt.Errorf("walk: Gelman-Rubin needs chains of length >= 2, got %d", n)
+	}
+	for i, c := range chains {
+		if len(c) != n {
+			return 0, fmt.Errorf("walk: chain %d has length %d, want %d", i, len(c), n)
+		}
+	}
+	var within mathx.Moments // of per-chain variances (we need the mean)
+	var means mathx.Moments  // of per-chain means (we need the variance)
+	for _, c := range chains {
+		var mo mathx.Moments
+		for _, v := range c {
+			mo.Add(v)
+		}
+		within.Add(mo.Variance())
+		means.Add(mo.Mean())
+	}
+	w := within.Mean()
+	b := float64(n) * means.Variance()
+	if w == 0 {
+		if b == 0 {
+			return 1, nil // all chains constant and identical
+		}
+		return math.Inf(1), nil // constant chains at different values
+	}
+	varPlus := (float64(n-1)/float64(n))*w + b/float64(n)
+	return math.Sqrt(varPlus / w), nil
+}
+
+// GelmanRubinMonitor adapts R̂ to the multi-chain stopping problem: feed it
+// the growing traces of parallel walks and it reports convergence once
+// R̂ <= Threshold (default 1.1) with at least MinSteps (default 20) per
+// chain.
+type GelmanRubinMonitor struct {
+	Threshold float64
+	MinSteps  int
+}
+
+// Converged reports whether the chains satisfy the R̂ criterion.
+func (g GelmanRubinMonitor) Converged(chains [][]float64) bool {
+	min := g.MinSteps
+	if min <= 0 {
+		min = 20
+	}
+	for _, c := range chains {
+		if len(c) < min {
+			return false
+		}
+	}
+	thr := g.Threshold
+	if thr <= 0 {
+		thr = 1.1
+	}
+	r, err := GelmanRubin(chains)
+	if err != nil {
+		return false
+	}
+	return r <= thr
+}

@@ -1,0 +1,101 @@
+package walk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/osn"
+)
+
+func TestGelmanRubinIdenticalDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	chains := make([][]float64, 4)
+	for i := range chains {
+		chains[i] = make([]float64, 500)
+		for j := range chains[i] {
+			chains[i][j] = rng.NormFloat64()
+		}
+	}
+	r, err := GelmanRubin(chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.95 || r > 1.1 {
+		t.Fatalf("R̂ = %v for iid chains, want ≈1", r)
+	}
+}
+
+func TestGelmanRubinDivergentChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	chains := make([][]float64, 3)
+	for i := range chains {
+		chains[i] = make([]float64, 200)
+		for j := range chains[i] {
+			chains[i][j] = rng.NormFloat64() + float64(i)*50 // far-apart means
+		}
+	}
+	r, err := GelmanRubin(chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 5 {
+		t.Fatalf("R̂ = %v for divergent chains, want >> 1", r)
+	}
+}
+
+func TestGelmanRubinEdgeCases(t *testing.T) {
+	if _, err := GelmanRubin([][]float64{{1, 2}}); err == nil {
+		t.Error("single chain should error")
+	}
+	if _, err := GelmanRubin([][]float64{{1}, {2}}); err == nil {
+		t.Error("length-1 chains should error")
+	}
+	if _, err := GelmanRubin([][]float64{{1, 2, 3}, {1, 2}}); err == nil {
+		t.Error("ragged chains should error")
+	}
+	// Constant identical chains converge trivially.
+	r, err := GelmanRubin([][]float64{{5, 5, 5}, {5, 5, 5}})
+	if err != nil || r != 1 {
+		t.Fatalf("constant chains R̂ = %v, %v", r, err)
+	}
+	// Constant chains at different levels can never mix.
+	r, err = GelmanRubin([][]float64{{1, 1, 1}, {2, 2, 2}})
+	if err != nil || !math.IsInf(r, 1) {
+		t.Fatalf("split constant chains R̂ = %v, %v", r, err)
+	}
+}
+
+func TestGelmanRubinMonitorOnWalks(t *testing.T) {
+	// Parallel SRW chains from different starts on a well-connected graph
+	// should satisfy R̂ after enough steps.
+	rng := rand.New(rand.NewSource(92))
+	g := gen.BarabasiAlbert(200, 4, rng)
+	net := osn.NewNetwork(g)
+	const m, steps = 4, 400
+	chains := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		c := osn.NewClient(net, osn.CostUniqueNodes, rng)
+		path := Path(c, SRW{}, i*37%g.NumNodes(), steps, rng)
+		trace := make([]float64, len(path))
+		for j, v := range path {
+			trace[j] = float64(g.Degree(v))
+		}
+		chains[i] = trace
+	}
+	mon := GelmanRubinMonitor{}
+	if !mon.Converged(chains) {
+		r, _ := GelmanRubin(chains)
+		t.Fatalf("long parallel chains should converge (R̂ = %v)", r)
+	}
+	// Short chains gated by MinSteps.
+	short := [][]float64{{1, 2}, {1, 2}}
+	if (GelmanRubinMonitor{MinSteps: 10}).Converged(short) {
+		t.Error("MinSteps must gate")
+	}
+	// Error inputs report not-converged rather than panicking.
+	if (GelmanRubinMonitor{MinSteps: 1}).Converged([][]float64{{1, 2, 3}}) {
+		t.Error("single chain cannot converge")
+	}
+}

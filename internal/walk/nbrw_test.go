@@ -1,0 +1,138 @@
+package walk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/linalg"
+)
+
+func TestNBWalkerNeverBacktracks(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	g := gen.BarabasiAlbert(100, 3, rng) // min degree 3: backtracking never forced
+	c := client(g, 101)
+	w := NewNBWalker(0)
+	prev, cur := -1, 0
+	for i := 0; i < 2000; i++ {
+		next := w.Step(c, rng)
+		if !g.HasEdge(cur, next) {
+			t.Fatalf("NBRW stepped along non-edge %d-%d", cur, next)
+		}
+		if next == prev {
+			t.Fatalf("NBRW backtracked %d -> %d -> %d with degree %d", prev, cur, next, g.Degree(cur))
+		}
+		prev, cur = cur, next
+	}
+}
+
+func TestNBWalkerBacktracksOnlyAtLeaves(t *testing.T) {
+	// Path graph: interior nodes have degree 2 so the walk sweeps to an end,
+	// then must backtrack at the leaf.
+	rng := rand.New(rand.NewSource(102))
+	g := gen.Path(5)
+	c := client(g, 103)
+	w := NewNBWalker(0)
+	seq := []int{w.Node()}
+	for i := 0; i < 8; i++ {
+		seq = append(seq, w.Step(c, rng))
+	}
+	// From 0 the walk must go 0,1,2,3,4 then bounce 3,2,1,0 deterministically.
+	want := []int{0, 1, 2, 3, 4, 3, 2, 1, 0}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("NBRW on path: got %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestNBWalkerStranded(t *testing.T) {
+	b := gen.Path(1) // single node, no neighbors
+	c := client(b, 104)
+	w := NewNBWalker(0)
+	if got := w.Step(c, rand.New(rand.NewSource(1))); got != 0 {
+		t.Fatalf("stranded walker moved to %d", got)
+	}
+}
+
+func TestNBRWStationaryIsDegreeProportional(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	g := gen.BarabasiAlbert(30, 2, rng)
+	c := client(g, 106)
+	pi, _ := linalg.SRWStationary(g)
+	counts := make([]int, g.NumNodes())
+	const walks = 8000
+	for i := 0; i < walks; i++ {
+		path := NBPath(c, 0, 45, rng)
+		counts[path[len(path)-1]]++
+	}
+	for v, got := range counts {
+		want := pi[v] * walks
+		if want < 40 {
+			continue
+		}
+		if float64(got) < 0.5*want || float64(got) > 1.9*want {
+			t.Errorf("node %d sampled %d, degree-proportional expectation %.0f", v, got, want)
+		}
+	}
+}
+
+func TestNBRWMixesFasterThanSRW(t *testing.T) {
+	// Empirical end-node distribution after few steps: NBRW should be
+	// closer to stationary than SRW (total variation), its headline
+	// property.
+	rng := rand.New(rand.NewSource(107))
+	g := gen.BarabasiAlbert(60, 3, rng)
+	c := client(g, 108)
+	pi, _ := linalg.SRWStationary(g)
+	const steps, walks = 5, 30000
+	tv := func(nb bool) float64 {
+		counts := make([]float64, g.NumNodes())
+		for i := 0; i < walks; i++ {
+			var end int
+			if nb {
+				p := NBPath(c, 0, steps, rng)
+				end = p[len(p)-1]
+			} else {
+				p := Path(c, SRW{}, 0, steps, rng)
+				end = p[len(p)-1]
+			}
+			counts[end]++
+		}
+		d := 0.0
+		for v := range counts {
+			d += math.Abs(counts[v]/walks - pi[v])
+		}
+		return d / 2
+	}
+	srwTV := tv(false)
+	nbTV := tv(true)
+	if nbTV >= srwTV {
+		t.Fatalf("NBRW TV %v should beat SRW TV %v at %d steps", nbTV, srwTV, steps)
+	}
+}
+
+func TestNBManyShortRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	g := gen.BarabasiAlbert(80, 3, rng)
+	c := client(g, 110)
+	res, err := NBManyShortRuns(c, 0, 12, Geweke{}, 400, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 12 {
+		t.Fatalf("samples = %d", res.Len())
+	}
+	for i := 1; i < res.Len(); i++ {
+		if res.CostAfter[i] < res.CostAfter[i-1] {
+			t.Fatal("cost must be non-decreasing")
+		}
+	}
+	if _, err := NBManyShortRuns(c, 0, -1, Geweke{}, 10, rng); err == nil {
+		t.Error("negative count should error")
+	}
+	if _, err := NBManyShortRuns(c, 0, 1, Geweke{}, 0, rng); err == nil {
+		t.Error("zero maxSteps should error")
+	}
+}

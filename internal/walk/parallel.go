@@ -1,0 +1,60 @@
+package walk
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/osn"
+)
+
+// ParallelResult aggregates a parallel sampling run: the union of all
+// workers' samples and the total query cost across workers.
+type ParallelResult struct {
+	// Nodes holds all samples, grouped by worker in worker order (the
+	// order within a worker is its sampling order).
+	Nodes []int
+	// PerWorker holds each worker's own result.
+	PerWorker []Result
+	// TotalQueries sums the workers' query costs. Workers do not share
+	// caches — each models an independent crawler (IP/API account), as in
+	// the parallel-crawling setups the paper cites.
+	TotalQueries int64
+}
+
+// ParallelShortRuns runs the many-short-runs sampler on `workers` goroutines,
+// each with its own metered client and its own starting node
+// (starts[w % len(starts)] — the paper's "multiple starting points in
+// practice"). Each worker draws countPer samples. Deterministic per seed.
+func ParallelShortRuns(net *osn.Network, d Design, starts []int, countPer int, m Monitor, maxSteps, workers int, seed int64) (ParallelResult, error) {
+	if workers < 1 {
+		return ParallelResult{}, fmt.Errorf("walk: need >= 1 worker, got %d", workers)
+	}
+	if len(starts) == 0 {
+		return ParallelResult{}, fmt.Errorf("walk: need at least one start node")
+	}
+	results := make([]Result, workers)
+	errs := make([]error, workers)
+	clients := make([]*osn.Client, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*0x9E3779B9 + 1))
+			c := osn.NewClient(net, osn.CostUniqueNodes, rng)
+			clients[w] = c
+			results[w], errs[w] = ManyShortRuns(c, d, starts[w%len(starts)], countPer, m, maxSteps, rng)
+		}(w)
+	}
+	wg.Wait()
+	out := ParallelResult{PerWorker: results}
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return out, fmt.Errorf("walk: worker %d: %w", w, errs[w])
+		}
+		out.Nodes = append(out.Nodes, results[w].Nodes...)
+		out.TotalQueries += clients[w].Queries()
+	}
+	return out, nil
+}

@@ -1,0 +1,74 @@
+package walk
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/osn"
+)
+
+func TestParallelShortRuns(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, newRng(80))
+	net := osn.NewNetwork(g)
+	res, err := ParallelShortRuns(net, SRW{}, []int{0, 5, 9}, 8, Geweke{}, 500, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 32 {
+		t.Fatalf("total samples = %d, want 32", len(res.Nodes))
+	}
+	if len(res.PerWorker) != 4 {
+		t.Fatalf("workers = %d", len(res.PerWorker))
+	}
+	for w, r := range res.PerWorker {
+		if r.Len() != 8 {
+			t.Fatalf("worker %d samples = %d", w, r.Len())
+		}
+	}
+	if res.TotalQueries <= 0 {
+		t.Fatal("queries should be charged")
+	}
+	for _, v := range res.Nodes {
+		if v < 0 || v >= g.NumNodes() {
+			t.Fatalf("sample %d out of range", v)
+		}
+	}
+}
+
+func TestParallelShortRunsDeterministic(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 3, newRng(81))
+	net := osn.NewNetwork(g)
+	a, err := ParallelShortRuns(net, SRW{}, []int{0}, 5, FixedBurnIn{N: 10}, 100, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParallelShortRuns(net, SRW{}, []int{0}, 5, FixedBurnIn{N: 10}, 100, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range a.PerWorker {
+		for i := range a.PerWorker[w].Nodes {
+			if a.PerWorker[w].Nodes[i] != b.PerWorker[w].Nodes[i] {
+				t.Fatal("same seed must reproduce per-worker samples")
+			}
+		}
+	}
+}
+
+func TestParallelShortRunsErrors(t *testing.T) {
+	g := gen.Cycle(5)
+	net := osn.NewNetwork(g)
+	if _, err := ParallelShortRuns(net, SRW{}, []int{0}, 1, Geweke{}, 10, 0, 1); err == nil {
+		t.Error("zero workers should error")
+	}
+	if _, err := ParallelShortRuns(net, SRW{}, nil, 1, Geweke{}, 10, 1, 1); err == nil {
+		t.Error("no starts should error")
+	}
+	// Worker error propagates (invalid maxSteps).
+	if _, err := ParallelShortRuns(net, SRW{}, []int{0}, 1, Geweke{}, 0, 2, 1); err == nil {
+		t.Error("worker error should propagate")
+	}
+}
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,97 @@
+package walk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+)
+
+// TestPropertyDesignRowsStochastic checks, through the restricted client
+// interface, that each design's outgoing transition probabilities sum to 1
+// from every node of random graphs.
+func TestPropertyDesignRowsStochastic(t *testing.T) {
+	prop := func(seed int64, useMHRW bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(25)
+		g := gen.ErdosRenyiGNP(n, 0.3, rng)
+		c := client(g, seed+1)
+		var d Design = SRW{}
+		if useMHRW {
+			d = MHRW{}
+		}
+		for u := 0; u < n; u++ {
+			sum := d.Prob(c, u, u)
+			for _, w := range g.Neighbors(u) {
+				sum += d.Prob(c, u, int(w))
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyStepSupportsProb verifies every realized step has positive
+// transition probability under the design.
+func TestPropertyStepSupportsProb(t *testing.T) {
+	prop := func(seed int64, useMHRW bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		g := gen.BarabasiAlbert(n, 2, rng)
+		c := client(g, seed+2)
+		var d Design = SRW{}
+		if useMHRW {
+			d = MHRW{}
+		}
+		u := rng.Intn(n)
+		for i := 0; i < 60; i++ {
+			v := d.Step(c, u, rng)
+			if d.Prob(c, u, v) <= 0 {
+				return false
+			}
+			u = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyGewekeScaleInvariance: the Geweke Z statistic is invariant
+// under affine transformations of the trace (location shifts cancel in the
+// mean difference; scale cancels in the variance normalizer).
+func TestPropertyGewekeScaleInvariance(t *testing.T) {
+	prop := func(seed int64, scaleRaw, shiftRaw float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		scale := 0.5 + math.Mod(math.Abs(scaleRaw), 10)
+		shift := math.Mod(shiftRaw, 100)
+		if math.IsNaN(scale) || math.IsNaN(shift) {
+			return true
+		}
+		trace := make([]float64, 120)
+		for i := range trace {
+			trace[i] = rng.NormFloat64() + float64(i)*0.01
+		}
+		scaled := make([]float64, len(trace))
+		for i, v := range trace {
+			scaled[i] = scale*v + shift
+		}
+		g := Geweke{}
+		z1, z2 := g.Z(trace), g.Z(scaled)
+		if math.IsInf(z1, 1) || math.IsInf(z2, 1) {
+			return z1 == z2
+		}
+		return math.Abs(z1-z2) <= 1e-9*(1+math.Abs(z1))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

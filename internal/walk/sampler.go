@@ -1,0 +1,108 @@
+package walk
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/osn"
+)
+
+// Result is the output of a sampling run. Nodes[i] is the i-th sample;
+// Steps[i] the number of walk steps spent on it; CostAfter[i] the client's
+// cumulative query cost right after it was taken (the x-axis of the paper's
+// error-vs-query-cost figures).
+type Result struct {
+	Nodes     []int
+	Steps     []int
+	CostAfter []int64
+}
+
+// Len returns the number of samples drawn.
+func (r Result) Len() int { return len(r.Nodes) }
+
+// Monitor decides, from the trace of a node attribute along the walk,
+// whether the walk has burned in. Geweke implements it; FixedBurnIn gives
+// the conservative fixed-length alternative.
+type Monitor interface {
+	Converged(trace []float64) bool
+}
+
+// FixedBurnIn declares convergence after exactly N steps.
+type FixedBurnIn struct{ N int }
+
+// Converged implements Monitor.
+func (f FixedBurnIn) Converged(trace []float64) bool {
+	return len(trace) > f.N // trace includes the start node
+}
+
+// ManyShortRuns implements the paper's default sampling scheme (§6.1): for
+// each of count samples, walk from start until the monitor declares burn-in
+// (the trace fed to the monitor is the visible-degree sequence, the paper's
+// typical choice of θ), then take the final node. maxSteps caps each walk
+// against monitors that never fire; a capped walk still yields its final
+// node, mirroring practice under a finite budget.
+func ManyShortRuns(c *osn.Client, d Design, start, count int, m Monitor, maxSteps int, rng *rand.Rand) (Result, error) {
+	if count < 0 {
+		return Result{}, fmt.Errorf("walk: negative sample count %d", count)
+	}
+	if maxSteps < 1 {
+		return Result{}, fmt.Errorf("walk: maxSteps must be positive, got %d", maxSteps)
+	}
+	res := Result{
+		Nodes:     make([]int, 0, count),
+		Steps:     make([]int, 0, count),
+		CostAfter: make([]int64, 0, count),
+	}
+	trace := make([]float64, 0, 256)
+	for s := 0; s < count; s++ {
+		u := start
+		trace = trace[:0]
+		trace = append(trace, float64(c.Degree(u)))
+		steps := 0
+		for !m.Converged(trace) && steps < maxSteps {
+			u = d.Step(c, u, rng)
+			trace = append(trace, float64(c.Degree(u)))
+			steps++
+		}
+		res.Nodes = append(res.Nodes, u)
+		res.Steps = append(res.Steps, steps)
+		res.CostAfter = append(res.CostAfter, c.Queries())
+	}
+	return res, nil
+}
+
+// OneLongRun implements the alternative scheme of §6.1: one walk that burns
+// in once (burnIn steps) and then collects every thin-th visited node until
+// count samples are gathered. thin = 1 takes every node. The samples are
+// correlated; pair with agg.EffectiveSampleSize to account for it.
+func OneLongRun(c *osn.Client, d Design, start, burnIn, count, thin int, rng *rand.Rand) (Result, error) {
+	if count < 0 {
+		return Result{}, fmt.Errorf("walk: negative sample count %d", count)
+	}
+	if burnIn < 0 {
+		return Result{}, fmt.Errorf("walk: negative burn-in %d", burnIn)
+	}
+	if thin < 1 {
+		return Result{}, fmt.Errorf("walk: thin must be >= 1, got %d", thin)
+	}
+	res := Result{
+		Nodes:     make([]int, 0, count),
+		Steps:     make([]int, 0, count),
+		CostAfter: make([]int64, 0, count),
+	}
+	u := start
+	for i := 0; i < burnIn; i++ {
+		u = d.Step(c, u, rng)
+	}
+	steps := burnIn
+	for len(res.Nodes) < count {
+		for i := 0; i < thin; i++ {
+			u = d.Step(c, u, rng)
+			steps++
+		}
+		res.Nodes = append(res.Nodes, u)
+		res.Steps = append(res.Steps, steps)
+		res.CostAfter = append(res.CostAfter, c.Queries())
+	}
+	return res, nil
+}

@@ -1,0 +1,311 @@
+package walk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/linalg"
+	"repro/internal/osn"
+)
+
+func client(g *graph.Graph, seed int64) *osn.Client {
+	net := osn.NewNetwork(g)
+	return osn.NewClient(net, osn.CostUniqueNodes, rand.New(rand.NewSource(seed)))
+}
+
+func TestSRWStepStaysOnGraph(t *testing.T) {
+	g := gen.Cycle(10)
+	c := client(g, 1)
+	rng := rand.New(rand.NewSource(2))
+	u := 0
+	for i := 0; i < 100; i++ {
+		v := SRW{}.Step(c, u, rng)
+		if !g.HasEdge(u, v) {
+			t.Fatalf("SRW stepped along non-edge %d-%d", u, v)
+		}
+		u = v
+	}
+}
+
+func TestSRWProbMatchesMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := gen.BarabasiAlbert(40, 3, rng)
+	c := client(g, 4)
+	m := linalg.NewSRW(g)
+	for u := 0; u < g.NumNodes(); u += 7 {
+		for v := 0; v < g.NumNodes(); v += 5 {
+			want := m.Prob(u, v)
+			got := SRW{}.Prob(c, u, v)
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("SRW Prob(%d,%d) = %v, want %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestMHRWProbMatchesMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := gen.BarabasiAlbert(40, 3, rng)
+	c := client(g, 6)
+	m := linalg.NewMHRW(g)
+	for u := 0; u < g.NumNodes(); u += 3 {
+		for v := 0; v < g.NumNodes(); v += 4 {
+			want := m.Prob(u, v)
+			got := MHRW{}.Prob(c, u, v)
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("MHRW Prob(%d,%d) = %v, want %v", u, v, got, want)
+			}
+		}
+		// Self-loop row entries.
+		want := m.Prob(u, u)
+		got := MHRW{}.Prob(c, u, u)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("MHRW Prob(%d,%d) = %v, want %v", u, u, got, want)
+		}
+	}
+}
+
+// Empirical one-step distribution of Step must match Prob.
+func TestStepMatchesProbEmpirically(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	for _, d := range []Design{SRW{}, MHRW{}} {
+		c := client(g, 7)
+		rng := rand.New(rand.NewSource(8))
+		const trials = 200000
+		counts := make(map[int]int)
+		for i := 0; i < trials; i++ {
+			counts[d.Step(c, 2, rng)]++
+		}
+		for v := 0; v < 4; v++ {
+			want := d.Prob(c, 2, v)
+			got := float64(counts[v]) / trials
+			if math.Abs(got-want) > 0.01 {
+				t.Errorf("%s: empirical p(2->%d) = %v, want %v", d.Name(), v, got, want)
+			}
+		}
+	}
+}
+
+func TestMHRWConvergesToUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := gen.BarabasiAlbert(30, 2, rng)
+	c := client(g, 10)
+	counts := make([]int, g.NumNodes())
+	const walks = 6000
+	for i := 0; i < walks; i++ {
+		path := Path(c, MHRW{}, 0, 60, rng)
+		counts[path[len(path)-1]]++
+	}
+	// Every node should appear with roughly uniform frequency.
+	want := float64(walks) / float64(g.NumNodes())
+	for v, got := range counts {
+		if float64(got) < 0.3*want || float64(got) > 2.5*want {
+			t.Errorf("node %d sampled %d times, uniform expectation %.0f", v, got, want)
+		}
+	}
+}
+
+func TestSRWConvergesToDegreeProportional(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := gen.BarabasiAlbert(30, 2, rng)
+	c := client(g, 12)
+	pi, _ := linalg.SRWStationary(g)
+	counts := make([]int, g.NumNodes())
+	const walks = 8000
+	for i := 0; i < walks; i++ {
+		path := Path(c, SRW{}, 0, 61, rng) // odd length washes out parity
+		counts[path[len(path)-1]]++
+	}
+	for v, got := range counts {
+		want := pi[v] * walks
+		if want < 30 {
+			continue // too rare for a tight check
+		}
+		if float64(got) < 0.5*want || float64(got) > 1.8*want {
+			t.Errorf("node %d sampled %d, stationary expectation %.0f", v, got, want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"SRW", "srw", "MHRW", "mhrw"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("ByName(bogus) should error")
+	}
+	if (SRW{}).SelfLoops() || !(MHRW{}).SelfLoops() {
+		t.Error("SelfLoops flags wrong")
+	}
+}
+
+func TestTargetWeights(t *testing.T) {
+	g := gen.Star(5)
+	c := client(g, 13)
+	if w := (SRW{}).TargetWeight(c, 0); w != 4 {
+		t.Errorf("SRW hub weight = %v, want 4", w)
+	}
+	if w := (MHRW{}).TargetWeight(c, 0); w != 1 {
+		t.Errorf("MHRW weight = %v, want 1", w)
+	}
+}
+
+func TestGewekeZ(t *testing.T) {
+	g := Geweke{}
+	// Too short.
+	if !math.IsInf(g.Z([]float64{1, 2, 3}), 1) {
+		t.Error("short trace should give +Inf")
+	}
+	// Identical constant windows converge.
+	flat := make([]float64, 100)
+	for i := range flat {
+		flat[i] = 5
+	}
+	if z := g.Z(flat); z != 0 {
+		t.Errorf("flat trace Z = %v, want 0", z)
+	}
+	if !g.Converged(flat) {
+		t.Error("flat trace should converge")
+	}
+	// Strong trend: early window differs from late window.
+	trend := make([]float64, 100)
+	for i := range trend {
+		trend[i] = float64(i)
+	}
+	if g.Converged(trend) {
+		t.Errorf("trending trace should not converge (Z=%v)", g.Z(trend))
+	}
+	// Standardized variant is stricter (larger Z) on noisy-but-drifting data.
+	noisy := make([]float64, 200)
+	rng := rand.New(rand.NewSource(14))
+	for i := range noisy {
+		noisy[i] = rng.NormFloat64() + float64(i)*0.01
+	}
+	plain := Geweke{}.Z(noisy)
+	std := Geweke{Standardized: true}.Z(noisy)
+	if std <= plain {
+		t.Errorf("standardized Z (%v) should exceed plain Z (%v)", std, plain)
+	}
+}
+
+func TestGewekeMinSteps(t *testing.T) {
+	g := Geweke{MinSteps: 50}
+	flat := make([]float64, 30)
+	if g.Converged(flat) {
+		t.Error("MinSteps must gate convergence")
+	}
+}
+
+func TestManyShortRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	g := gen.BarabasiAlbert(50, 3, rng)
+	c := client(g, 16)
+	res, err := ManyShortRuns(c, SRW{}, 0, 10, Geweke{}, 500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 10 {
+		t.Fatalf("samples = %d, want 10", res.Len())
+	}
+	for i, v := range res.Nodes {
+		if v < 0 || v >= g.NumNodes() {
+			t.Fatalf("sample %d out of range: %d", i, v)
+		}
+		if res.Steps[i] < 1 || res.Steps[i] > 500 {
+			t.Fatalf("steps[%d] = %d", i, res.Steps[i])
+		}
+	}
+	// Cost checkpoints are non-decreasing.
+	for i := 1; i < res.Len(); i++ {
+		if res.CostAfter[i] < res.CostAfter[i-1] {
+			t.Fatal("cost checkpoints must be non-decreasing")
+		}
+	}
+}
+
+func TestManyShortRunsFixedBurnIn(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := gen.Cycle(20)
+	c := client(g, 18)
+	res, err := ManyShortRuns(c, SRW{}, 0, 5, FixedBurnIn{N: 7}, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Steps {
+		if s != 7 {
+			t.Fatalf("sample %d used %d steps, want exactly 7", i, s)
+		}
+	}
+}
+
+func TestManyShortRunsErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	g := gen.Cycle(5)
+	c := client(g, 20)
+	if _, err := ManyShortRuns(c, SRW{}, 0, -1, Geweke{}, 10, rng); err == nil {
+		t.Error("negative count should error")
+	}
+	if _, err := ManyShortRuns(c, SRW{}, 0, 1, Geweke{}, 0, rng); err == nil {
+		t.Error("zero maxSteps should error")
+	}
+}
+
+func TestOneLongRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := gen.BarabasiAlbert(50, 3, rng)
+	c := client(g, 22)
+	res, err := OneLongRun(c, SRW{}, 0, 20, 15, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 15 {
+		t.Fatalf("samples = %d", res.Len())
+	}
+	// Steps advance by exactly thin per sample after burn-in.
+	for i, s := range res.Steps {
+		want := 20 + 3*(i+1)
+		if s != want {
+			t.Fatalf("steps[%d] = %d, want %d", i, s, want)
+		}
+	}
+	// One long run reuses the walk: its total step count is far below
+	// many-short-runs at the same sample count with the same burn-in.
+	if res.Steps[len(res.Steps)-1] >= 15*20 {
+		t.Error("one long run should amortize burn-in")
+	}
+}
+
+func TestOneLongRunErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := gen.Cycle(5)
+	c := client(g, 24)
+	if _, err := OneLongRun(c, SRW{}, 0, -1, 5, 1, rng); err == nil {
+		t.Error("negative burn-in should error")
+	}
+	if _, err := OneLongRun(c, SRW{}, 0, 1, -5, 1, rng); err == nil {
+		t.Error("negative count should error")
+	}
+	if _, err := OneLongRun(c, SRW{}, 0, 1, 5, 0, rng); err == nil {
+		t.Error("zero thin should error")
+	}
+}
+
+func TestPathLengthAndStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	g := gen.Cycle(9)
+	c := client(g, 26)
+	p := Path(c, SRW{}, 4, 12, rng)
+	if len(p) != 13 || p[0] != 4 {
+		t.Fatalf("path len=%d start=%d", len(p), p[0])
+	}
+	for i := 1; i < len(p); i++ {
+		if !g.HasEdge(p[i-1], p[i]) {
+			t.Fatalf("path hop %d-%d not an edge", p[i-1], p[i])
+		}
+	}
+}

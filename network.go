@@ -1,0 +1,79 @@
+package walknotwait
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/osn"
+)
+
+// Network is the hidden side of a simulated online social network: the full
+// topology plus node attributes, accessible to samplers only through a
+// metered Client.
+type Network = osn.Network
+
+// Client is a metered third-party view of a Network: neighbor queries are
+// cached and counted, attributes are charged like profile fetches, and the
+// §6.3.1 access restrictions are applied.
+type Client = osn.Client
+
+// NetworkOption configures a Network.
+type NetworkOption = osn.Option
+
+// CostMode selects how a Client charges queries.
+type CostMode = osn.CostMode
+
+const (
+	// CostUniqueNodes charges one query per distinct node accessed (the
+	// paper's cost measure; repeat lookups hit the crawler's cache).
+	CostUniqueNodes = osn.CostUniqueNodes
+	// CostPerCall charges every interface call.
+	CostPerCall = osn.CostPerCall
+)
+
+// AttrDegree is the pseudo-attribute name for node degree.
+const AttrDegree = osn.AttrDegree
+
+// NewNetwork wraps a graph as a simulated online social network.
+func NewNetwork(g *Graph, opts ...NetworkOption) *Network { return osn.NewNetwork(g, opts...) }
+
+// NewClient creates a metered client over a network.
+func NewClient(net *Network, mode CostMode, rng *rand.Rand) *Client {
+	return osn.NewClient(net, mode, rng)
+}
+
+// WithAttribute attaches a numeric per-node attribute table.
+func WithAttribute(name string, values []float64) NetworkOption {
+	return osn.WithAttribute(name, values)
+}
+
+// WithAttrFunc attaches a lazily-computed, memoized per-node attribute.
+func WithAttrFunc(name string, fn func(node int) float64) NetworkOption {
+	return osn.WithAttrFunc(name, fn)
+}
+
+// WithRestriction installs a neighbor-list access restriction (§6.3.1).
+func WithRestriction(r Restriction) NetworkOption { return osn.WithRestriction(r) }
+
+// WithRateLimit simulates a query rate limit (e.g. 15 requests/15 min).
+func WithRateLimit(perWindow int, window time.Duration) NetworkOption {
+	return osn.WithRateLimit(perWindow, window)
+}
+
+// Restriction models the neighbor-list access restrictions of §6.3.1.
+type Restriction = osn.Restriction
+
+// RandomK is restriction type (1): a fresh random k-subset per invocation.
+type RandomK = osn.RandomK
+
+// FixedK is restriction type (2): a fixed random k-subset per node.
+type FixedK = osn.FixedK
+
+// TruncateL is restriction type (3): at most the first l neighbors.
+type TruncateL = osn.TruncateL
+
+// EstimateDegreeMarkRecapture estimates a node's true degree under a
+// RandomK restriction with the Petersen mark-recapture estimator.
+func EstimateDegreeMarkRecapture(c *Client, v, rounds int) (float64, error) {
+	return osn.EstimateDegreeMarkRecapture(c, v, rounds)
+}

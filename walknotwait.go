@@ -1,0 +1,110 @@
+// Package walknotwait is a Go implementation of "Walk, Not Wait: Faster
+// Sampling Over Online Social Networks" (Nazi, Zhou, Thirumuruganathan,
+// Zhang, Das — VLDB 2015, arXiv:1410.7833).
+//
+// The library lets you sample nodes from a graph that is only reachable
+// through a restrictive local-neighborhood interface (give a node id, get
+// its neighbor list — the access model of real online social networks), and
+// to do so far cheaper than classical random-walk samplers: instead of
+// waiting out a long burn-in, WALK-ESTIMATE walks a short, fixed number of
+// steps, estimates the landing probability of the candidate node with
+// provably unbiased backward random walks, and corrects the sample stream to
+// the target distribution with acceptance-rejection sampling.
+//
+// # Quick start
+//
+//	g := walknotwait.NewBarabasiAlbert(10000, 5, rand.New(rand.NewSource(1)))
+//	net := walknotwait.NewNetwork(g)
+//	client := walknotwait.NewClient(net, walknotwait.CostUniqueNodes, rng)
+//	sampler, err := walknotwait.NewWalkEstimate(client, walknotwait.WEConfig{
+//		Design:      walknotwait.SimpleRandomWalk(),
+//		Start:       0,
+//		WalkLength:  2*8 + 1, // 2·D̄+1 for diameter bound D̄
+//		UseCrawl:    true,
+//		UseWeighted: true,
+//	}, rng)
+//	nodes, err := sampler.SampleN(100)
+//	avgDeg, err := walknotwait.EstimateMean(client, walknotwait.SimpleRandomWalk(),
+//		walknotwait.AttrDegree, nodes.Nodes)
+//
+// The package is a facade over the internal implementation; see DESIGN.md
+// for the architecture and EXPERIMENTS.md for the paper-reproduction
+// results. Everything is stdlib-only and deterministic under caller-supplied
+// *rand.Rand seeds.
+package walknotwait
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Graph is an immutable simple undirected graph in CSR form; see
+// NewGraphBuilder and the generator functions for construction, and
+// LoadEdgeList for file input.
+type Graph = graph.Graph
+
+// GraphBuilder accumulates edges and produces an immutable Graph.
+type GraphBuilder = graph.Builder
+
+// NewGraphBuilder returns a builder for a graph on n nodes (ids 0..n-1).
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph on n nodes from undirected edge pairs.
+func FromEdges(n int, edges [][2]int) *Graph { return graph.FromEdges(n, edges) }
+
+// ReadEdgeList parses a plain-text edge list ("u v" lines, '#' comments).
+func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// WriteEdgeList writes a graph as a plain-text edge list.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// LoadEdgeList reads a graph from an edge-list file.
+func LoadEdgeList(path string) (*Graph, error) { return graph.LoadEdgeList(path) }
+
+// SaveEdgeList writes a graph to an edge-list file.
+func SaveEdgeList(path string, g *Graph) error { return graph.SaveEdgeList(path, g) }
+
+// NewBarabasiAlbert generates a Barabási–Albert scale-free graph: n nodes,
+// m preferential attachments per new node.
+func NewBarabasiAlbert(n, m int, rng *rand.Rand) *Graph { return gen.BarabasiAlbert(n, m, rng) }
+
+// NewHolmeKim generates a scale-free graph with tunable clustering: like
+// Barabási–Albert but each subsequent edge is, with probability pt, a
+// triad-formation step.
+func NewHolmeKim(n, m int, pt float64, rng *rand.Rand) *Graph { return gen.HolmeKim(n, m, pt, rng) }
+
+// NewCycle generates the cycle graph C_n.
+func NewCycle(n int) *Graph { return gen.Cycle(n) }
+
+// NewPath generates the path graph P_n.
+func NewPath(n int) *Graph { return gen.Path(n) }
+
+// NewComplete generates the complete graph K_n.
+func NewComplete(n int) *Graph { return gen.Complete(n) }
+
+// NewStar generates the star graph on n nodes (node 0 is the hub).
+func NewStar(n int) *Graph { return gen.Star(n) }
+
+// NewHypercube generates the k-dimensional hypercube (2^k nodes).
+func NewHypercube(k int) *Graph { return gen.Hypercube(k) }
+
+// NewBarbell generates the paper's barbell graph on n (odd) nodes: two
+// cliques of (n-1)/2 nodes bridged by a central node.
+func NewBarbell(n int) *Graph { return gen.Barbell(n) }
+
+// NewBalancedBinaryTree generates the complete binary tree of height h.
+func NewBalancedBinaryTree(h int) *Graph { return gen.BalancedBinaryTree(h) }
+
+// NewErdosRenyiGNP generates a G(n,p) random graph.
+func NewErdosRenyiGNP(n int, p float64, rng *rand.Rand) *Graph {
+	return gen.ErdosRenyiGNP(n, p, rng)
+}
+
+// NewErdosRenyiGNM generates a G(n,m) random graph with exactly m edges.
+func NewErdosRenyiGNM(n, m int, rng *rand.Rand) *Graph { return gen.ErdosRenyiGNM(n, m, rng) }
+
+// NewRandomRegular generates a random d-regular simple graph on n nodes.
+func NewRandomRegular(n, d int, rng *rand.Rand) *Graph { return gen.RandomRegular(n, d, rng) }
