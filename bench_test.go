@@ -6,6 +6,7 @@ package walknotwait_test
 // The weexp CLI runs the same experiments at full budgets.
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -256,6 +257,75 @@ func BenchmarkAblationWEVariants(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkParallelWE compares the sequential WALK-ESTIMATE sampler against
+// the concurrent engine (SampleNParallel) on a 50k-node Barabási–Albert
+// graph, the scale of the paper's synthetic experiments. Each op draws a
+// fixed block of samples; queries/sample reports the fleet-wide unique-node
+// cost per accepted sample. On multi-core hardware the 8-worker variant is
+// expected to run ≥ 2.5× faster than Sequential (scripts/bench.sh records
+// the trajectory in BENCH_walkestimate.json).
+func BenchmarkParallelWE(b *testing.B) {
+	const (
+		nodes        = 50000
+		edgesPerNode = 5
+		samplesPerOp = 24
+	)
+	g := wnw.NewBarabasiAlbert(nodes, edgesPerNode, rand.New(rand.NewSource(7)))
+	net := wnw.NewNetwork(g)
+	cfg := wnw.WEConfig{
+		Design:         wnw.SimpleRandomWalk(),
+		Start:          0,
+		WalkLength:     13,
+		UseCrawl:       true,
+		CrawlHops:      2,
+		UseWeighted:    true,
+		BackwardReps:   4,
+		VarianceBudget: 8,
+	}
+	newSampler := func(b *testing.B, seed int64) (*wnw.Client, *wnw.WESampler) {
+		b.Helper()
+		rng := rand.New(rand.NewSource(seed))
+		c := wnw.NewClient(net, wnw.CostUniqueNodes, rng)
+		s, err := wnw.NewWalkEstimate(c, cfg, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c, s
+	}
+	run := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			c, s := newSampler(b, 11)
+			// queries/sample is taken from the first op only (a fresh
+			// sampler's first block), so the metric is independent of b.N —
+			// averaging over all ops would decay with b.N as the shared
+			// cache warms and make sub-benchmarks incomparable.
+			var firstOpQueries int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if workers == 1 {
+					_, err = s.SampleN(samplesPerOp)
+				} else {
+					_, err = s.SampleNParallel(samplesPerOp, workers)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					firstOpQueries = c.TotalQueries()
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(firstOpQueries)/samplesPerOp, "queries/sample")
+			b.ReportMetric(float64(workers), "workers")
+		}
+	}
+	b.Run("Sequential", run(1))
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("Parallel-%d", w), run(w))
 	}
 }
 

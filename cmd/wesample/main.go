@@ -6,6 +6,7 @@
 // Usage:
 //
 //	wesample -in graph.txt -sampler we -design srw -count 100
+//	wesample -in graph.txt -sampler we -design srw -count 100 -workers 8
 //	wesample -in graph.txt -sampler geweke -design mhrw -count 100
 //	wesample -in graph.txt -sampler longrun -burnin 500 -thin 5
 package main
@@ -33,6 +34,7 @@ func main() {
 		geweke  = flag.Float64("geweke", 0.1, "Geweke threshold")
 		maxStep = flag.Int("maxsteps", 2000, "max steps per baseline walk")
 		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", 1, "parallel estimation workers (we sampler only)")
 		quiet   = flag.Bool("quiet", false, "suppress per-sample output")
 	)
 	flag.Parse()
@@ -41,14 +43,14 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(*in, *sampler, *design, *count, *start, *walkLen, *hops,
-		*burnin, *thin, *geweke, *maxStep, *seed, *quiet); err != nil {
+		*burnin, *thin, *geweke, *maxStep, *seed, *workers, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "wesample:", err)
 		os.Exit(1)
 	}
 }
 
 func run(in, samplerName, designName string, count, start, walkLen, hops,
-	burnin, thin int, geweke float64, maxStep int, seed int64, quiet bool) error {
+	burnin, thin int, geweke float64, maxStep int, seed int64, workers int, quiet bool) error {
 	g, err := wnw.LoadEdgeList(in)
 	if err != nil {
 		return err
@@ -85,7 +87,12 @@ func run(in, samplerName, designName string, count, start, walkLen, hops,
 		if err != nil {
 			return err
 		}
-		if res, err = s.SampleN(count); err != nil {
+		if workers > 1 {
+			res, err = s.SampleNParallel(count, workers)
+		} else {
+			res, err = s.SampleN(count)
+		}
+		if err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "acceptance-rate %.4f, steps %d (fwd %d / bwd %d)\n",
@@ -120,6 +127,6 @@ func run(in, samplerName, designName string, count, start, walkLen, hops,
 	}
 	truth := g.AvgDegree()
 	fmt.Fprintf(os.Stderr, "samples %d, query-cost %d, AVG-degree estimate %.4f (truth %.4f, rel-err %.4f)\n",
-		res.Len(), c.Queries(), est, truth, wnw.RelativeError(est, truth))
+		res.Len(), c.TotalQueries(), est, truth, wnw.RelativeError(est, truth))
 	return nil
 }

@@ -33,7 +33,7 @@ func TestRunSamplers(t *testing.T) {
 		{"longrun", "srw"},
 	}
 	for _, c := range cases {
-		if err := run(path, c.sampler, c.design, 10, -1, 0, 2, 50, 2, 0.1, 500, 1, true); err != nil {
+		if err := run(path, c.sampler, c.design, 10, -1, 0, 2, 50, 2, 0.1, 500, 1, 1, true); err != nil {
 			t.Fatalf("%s/%s: %v", c.sampler, c.design, err)
 		}
 	}
@@ -42,20 +42,28 @@ func TestRunSamplers(t *testing.T) {
 func TestRunExplicitParameters(t *testing.T) {
 	path := writeGraph(t)
 	// Explicit start node and walk length.
-	if err := run(path, "we", "srw", 5, 3, 9, 1, 50, 1, 0.1, 500, 7, true); err != nil {
+	if err := run(path, "we", "srw", 5, 3, 9, 1, 50, 1, 0.1, 500, 7, 1, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	path := writeGraph(t)
-	if err := run("/missing.txt", "we", "srw", 5, -1, 0, 2, 50, 1, 0.1, 500, 1, true); err == nil {
+	if err := run("/missing.txt", "we", "srw", 5, -1, 0, 2, 50, 1, 0.1, 500, 1, 1, true); err == nil {
 		t.Fatal("missing file should error")
 	}
-	if err := run(path, "bogus", "srw", 5, -1, 0, 2, 50, 1, 0.1, 500, 1, true); err == nil {
+	if err := run(path, "bogus", "srw", 5, -1, 0, 2, 50, 1, 0.1, 500, 1, 1, true); err == nil {
 		t.Fatal("unknown sampler should error")
 	}
-	if err := run(path, "we", "bogus", 5, -1, 0, 2, 50, 1, 0.1, 500, 1, true); err == nil {
+	if err := run(path, "we", "bogus", 5, -1, 0, 2, 50, 1, 0.1, 500, 1, 1, true); err == nil {
 		t.Fatal("unknown design should error")
+	}
+}
+
+func TestRunParallelWorkers(t *testing.T) {
+	path := writeGraph(t)
+	// The WALK-ESTIMATE sampler with a worker pool over the shared cache.
+	if err := run(path, "we", "srw", 10, -1, 0, 2, 50, 1, 0.1, 500, 1, 4, true); err != nil {
+		t.Fatal(err)
 	}
 }

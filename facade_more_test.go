@@ -218,3 +218,54 @@ func TestPublicAPIExperimentWrappers(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPublicAPIConcurrentEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	g := wnw.NewBarabasiAlbert(800, 3, rng)
+	net := wnw.NewNetwork(g)
+
+	// Explicitly shared clients through the facade.
+	sc := wnw.NewSharedCache()
+	a := wnw.NewClientShared(net, wnw.CostUniqueNodes, rand.New(rand.NewSource(41)), sc)
+	b := wnw.NewClientShared(net, wnw.CostUniqueNodes, rand.New(rand.NewSource(42)), sc)
+	a.Neighbors(0)
+	b.Neighbors(0)
+	if sc.Queries() != 1 {
+		t.Fatalf("shared cache charged %d for one unique node", sc.Queries())
+	}
+
+	// Parallel WALK-ESTIMATE through the facade.
+	c := wnw.NewClient(net, wnw.CostUniqueNodes, rand.New(rand.NewSource(43)))
+	s, err := wnw.NewWalkEstimate(c, wnw.WEConfig{
+		Design:      wnw.SimpleRandomWalk(),
+		Start:       0,
+		WalkLength:  9,
+		UseCrawl:    true,
+		UseWeighted: true,
+	}, rand.New(rand.NewSource(44)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.SampleNParallel(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 12 {
+		t.Fatalf("got %d samples, want 12", res.Len())
+	}
+	for _, v := range res.Nodes {
+		if v < 0 || v >= g.NumNodes() {
+			t.Fatalf("sample %d out of range", v)
+		}
+	}
+
+	// Parallel batch estimation through the facade.
+	est := &wnw.Estimator{Client: c.Fork(rand.New(rand.NewSource(45))), Design: wnw.SimpleRandomWalk(), Start: 0}
+	got, err := wnw.EstimateAllParallel(est, res.Nodes[:3], 9, 3, 3, 2, 46)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no estimates returned")
+	}
+}

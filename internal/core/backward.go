@@ -41,6 +41,11 @@ type Estimator struct {
 	// StepsTaken accumulates the total number of backward steps walked, for
 	// the cost accounting of Figure 5.
 	StepsTaken int64
+
+	// scratch is the reusable hit-count buffer of backStep. One buffer per
+	// Estimator keeps the WS-BW inner loop allocation-free; parallel callers
+	// give each worker its own Estimator, so no synchronization is needed.
+	scratch []float64
 }
 
 func (e *Estimator) epsilon() float64 {
@@ -132,7 +137,10 @@ func (e *Estimator) backStep(node, step int, rng *rand.Rand) (w int, pick float6
 	// the p(w→u)/π_pick(w) correction; the tempering only controls
 	// variance. The worst-case per-step weight inflation is 1/ε.
 	eps := e.epsilon()
-	hits := make([]float64, total)
+	if cap(e.scratch) < total {
+		e.scratch = make([]float64, total)
+	}
+	hits := e.scratch[:total]
 	var z float64
 	for i := 0; i < total; i++ {
 		h := float64(e.Hist.Hits(candidate(i), step-1))

@@ -64,13 +64,17 @@ func BuildCrawlTable(c *osn.Client, d walk.Design, start, h int) (*CrawlTable, e
 			if pw == 0 {
 				continue
 			}
-			for _, v := range c.Neighbors(int(w)) {
+			nbr := c.Neighbors(int(w))
+			for _, v := range nbr {
 				p := d.Prob(c, int(w), int(v))
 				if p > 0 {
 					cur[v] += p * pw
 				}
 			}
-			if d.SelfLoops() {
+			// Self-loop mass: designs with explicit self-loops (MHRW), and
+			// any design at a stranded degree-0 node, where every walk stays
+			// in place (Prob(w,w) = 1 for both SRW and MHRW).
+			if d.SelfLoops() || len(nbr) == 0 {
 				if p := d.Prob(c, int(w), int(w)); p > 0 {
 					cur[w] += p * pw
 				}

@@ -158,7 +158,7 @@ func (s *HarvestSampler) SampleN(n int) (walk.Result, error) {
 			}
 			res.Nodes = append(res.Nodes, v)
 			res.Steps = append(res.Steps, stepsSpent)
-			res.CostAfter = append(res.CostAfter, s.c.Queries())
+			res.CostAfter = append(res.CostAfter, s.c.TotalQueries())
 			stepsSpent = 0 // remaining samples of this walk were free
 		}
 	}

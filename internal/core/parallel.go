@@ -1,0 +1,392 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/mathx"
+	"repro/internal/walk"
+)
+
+// This file is the concurrent WALK-ESTIMATE engine: a speculative
+// walk→estimate→accept pipeline (SampleNParallel) and the parallel batch
+// form of Algorithm 3 (EstimateAllParallel). The concurrency model — what is
+// shared, what is per-worker, and the determinism contract — is documented
+// in DESIGN.md.
+//
+// Shared across workers: the osn.SharedCache (neighbor lists + unique-node
+// accounting), the immutable CrawlTable, and immutable History snapshots.
+// Per worker: an osn.Client (own cost meter, own L1 cache), an Estimator
+// (own scratch buffer, own StepsTaken meter), and job-derived RNGs.
+
+// pcand is one speculative candidate flowing through the pipeline. The
+// producer fills the first group of fields; exactly one estimation worker
+// fills the second; the consumer reads both after the batch barrier, so no
+// field is ever written and read concurrently.
+type pcand struct {
+	v       int      // forward-walk endpoint (the candidate)
+	estSeed int64    // seed of the candidate's private estimation RNG
+	acceptU float64  // pre-drawn uniform for the acceptance test
+	hist    *History // immutable WS-BW snapshot (nil without the heuristic)
+
+	pHat      float64 // estimated sampling probability p̂_t(v)
+	q         float64 // target weight q(v)
+	backSteps int64   // backward steps spent on this estimate
+	err       error
+}
+
+// SampleNParallel draws n samples like SampleN but runs the backward
+// estimates — the dominant cost of WALK-ESTIMATE — on `workers` goroutines.
+//
+// Pipeline: the producer (the calling goroutine) generates forward-walk
+// candidates in batches, drawing each candidate's estimation seed and
+// acceptance uniform from the sampler's RNG at generation time; a worker
+// pool estimates a batch while the producer speculatively generates the
+// next; the consumer then applies bootstrap updates and acceptance tests in
+// candidate arrival order. Because every random decision is either made
+// sequentially by the producer/consumer or derived from a per-candidate
+// seed, the returned node sequence is a deterministic function of (sampler
+// seed, workers) regardless of goroutine scheduling — see the determinism
+// contract in DESIGN.md (type-1 neighbor-list restrictions, which
+// re-randomize per call, void it).
+//
+// Workers share the client's neighbor cache (promoting it to an
+// osn.SharedCache on first use), so CostAfter reports the fleet-wide
+// unique-node cost via TotalQueries. Speculative candidates that are
+// generated but never consumed still pay their forward-walk and estimation
+// steps, exactly as a real speculative crawler would.
+func (s *Sampler) SampleNParallel(n, workers int) (walk.Result, error) {
+	if n < 0 {
+		return walk.Result{}, fmt.Errorf("core: negative sample count %d", n)
+	}
+	if workers < 1 {
+		return walk.Result{}, fmt.Errorf("core: need >= 1 worker, got %d", workers)
+	}
+	if workers == 1 {
+		return s.SampleN(n)
+	}
+	res := walk.Result{
+		Nodes:     make([]int, 0, n),
+		Steps:     make([]int, 0, n),
+		CostAfter: make([]int64, 0, n),
+	}
+	if n == 0 {
+		return res, nil
+	}
+
+	t := s.cfg.WalkLength
+	baseReps := s.cfg.backwardReps()
+	budget := s.cfg.VarianceBudget
+	maxAttempts := s.cfg.maxAttempts()
+
+	// Per-worker estimators over forked clients. Forking promotes s.c's
+	// private cache into a SharedCache all workers (and the producer) share.
+	// The pool persists across calls so the workers' L1 caches stay warm.
+	if len(s.workerEsts) != workers {
+		s.workerEsts = make([]*Estimator, workers)
+		for w := range s.workerEsts {
+			wc := s.c.Fork(newCandRNG(s.rng.Int63()))
+			s.workerEsts[w] = &Estimator{
+				Client:  wc,
+				Design:  s.cfg.Design,
+				Start:   s.cfg.Start,
+				Crawl:   s.est.Crawl,
+				Epsilon: s.cfg.Epsilon,
+			}
+		}
+	}
+	ests := s.workerEsts
+
+	batch := 2 * workers
+	if batch < 8 {
+		batch = 8
+	}
+	jobs := make(chan *pcand, batch)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		go func(e *Estimator) {
+			for cd := range jobs {
+				e.Hist = cd.hist
+				pre := e.StepsTaken
+				rng := newCandRNG(cd.estSeed)
+				cd.pHat, cd.err = EstimateAdaptive(e, cd.v, t, baseReps, budget, rng)
+				if cd.err == nil {
+					cd.q = s.cfg.Design.TargetWeight(e.Client, cd.v)
+				}
+				cd.backSteps = e.StepsTaken - pre
+				wg.Done()
+			}
+		}(ests[w])
+	}
+	defer close(jobs)
+
+	// generate runs the forward walks for one batch on the producer
+	// goroutine, recording WS-BW history and pre-drawing all per-candidate
+	// randomness, then freezes one history snapshot for the whole batch.
+	generate := func(size int) []*pcand {
+		out := make([]*pcand, size)
+		for i := range out {
+			path := walk.Path(s.c, s.cfg.Design, s.cfg.Start, t, s.rng)
+			s.forwardSteps += int64(t)
+			if s.hist != nil {
+				s.hist.RecordWalk(path)
+			}
+			out[i] = &pcand{
+				v:       path[len(path)-1],
+				estSeed: s.rng.Int63(),
+				acceptU: s.rng.Float64(),
+			}
+		}
+		if s.hist != nil {
+			// Throttled snapshot: refresh only when the live history has
+			// grown ≥ 50% since the last one (copying the dense counters
+			// every batch would serialize the pipeline). Estimating against
+			// a slightly stale snapshot is still unbiased — any full-support
+			// pick distribution is (see the WS-BW note in backward.go) — and
+			// the refresh schedule depends only on walk counts, so
+			// determinism is preserved.
+			if s.snapHist == nil || s.hist.Walks() >= s.snapWalks+s.snapWalks/2 {
+				s.snapHist = s.hist.Snapshot()
+				s.snapWalks = s.hist.Walks()
+			}
+			for _, cd := range out {
+				cd.hist = s.snapHist
+			}
+		}
+		return out
+	}
+
+	attemptsSince := 0   // attempts since the last accepted sample
+	var stepsSince int64 // walk steps since the last accepted sample
+
+	// consume applies bootstrap updates and acceptance tests in candidate
+	// order. It reports done=true once n samples are accepted.
+	consume := func(cands []*pcand) (done bool, err error) {
+		for i, cd := range cands {
+			if cd.err != nil {
+				return false, cd.err
+			}
+			s.attempts++
+			attemptsSince++
+			s.est.StepsTaken += cd.backSteps
+			stepsSince += int64(t) + cd.backSteps
+			if cd.q > 0 {
+				s.boot.Observe(cd.pHat / cd.q)
+				beta, err := s.boot.AcceptProb(cd.pHat, cd.q)
+				if err != nil {
+					return false, err
+				}
+				if cd.acceptU < beta {
+					s.accepted++
+					res.Nodes = append(res.Nodes, cd.v)
+					res.Steps = append(res.Steps, int(stepsSince))
+					res.CostAfter = append(res.CostAfter, s.c.TotalQueries())
+					stepsSince = 0
+					attemptsSince = 0
+					if len(res.Nodes) == n {
+						// Account the estimation work of the remaining
+						// already-estimated speculative candidates.
+						for _, rest := range cands[i+1:] {
+							if rest.err == nil {
+								s.est.StepsTaken += rest.backSteps
+							}
+						}
+						return true, nil
+					}
+				}
+			}
+			if attemptsSince >= maxAttempts {
+				return false, fmt.Errorf("core: no candidate accepted after %d attempts (walk length %d likely far too short for this graph)", maxAttempts, t)
+			}
+		}
+		return false, nil
+	}
+
+	// batchSize bounds speculative waste near the end of the run: once the
+	// observed acceptance rate suggests remaining samples need fewer
+	// candidates than a full batch (with 2x headroom), shrink accordingly.
+	// All inputs are deterministic counters, so sizing is deterministic too.
+	batchSize := func() int {
+		rem := n - len(res.Nodes)
+		if s.accepted == 0 {
+			return batch
+		}
+		rate := float64(s.accepted) / float64(s.attempts)
+		need := int(2*float64(rem)/rate) + 1
+		if need < workers {
+			need = workers
+		}
+		if need < batch {
+			return need
+		}
+		return batch
+	}
+
+	cur := generate(batchSize())
+	for {
+		wg.Add(len(cur))
+		for _, cd := range cur {
+			jobs <- cd
+		}
+		// Speculate the next batch while the pool estimates cur — unless
+		// cur alone will in all likelihood finish the run, in which case
+		// speculating would only burn wasted forward walks and estimates.
+		var next []*pcand
+		rem := n - len(res.Nodes)
+		likelyAccepts := 0
+		if s.attempts > 0 {
+			likelyAccepts = int(2 * float64(s.accepted) / float64(s.attempts) * float64(len(cur)))
+		}
+		if likelyAccepts < rem {
+			next = generate(batchSize())
+		}
+		wg.Wait()
+		done, err := consume(cur)
+		if err != nil {
+			return res, err
+		}
+		if done {
+			return res, nil
+		}
+		if next == nil {
+			next = generate(batchSize())
+		}
+		cur = next
+	}
+}
+
+// EstimateAllParallel is EstimateAll with the independent backward
+// repetitions fanned across `workers` goroutines. Each node's repetitions
+// run with a private RNG derived from (seed, node index, phase), and each
+// node's moment accumulator is owned by exactly one worker per phase, so the
+// result is a deterministic function of seed alone — independent of workers
+// and goroutine scheduling (absent type-1 restrictions; see DESIGN.md).
+//
+// Workers estimate over clients forked from e.Client (sharing its cache and
+// unique-node accounting; read the total cost off e.Client.TotalQueries) and
+// read an immutable snapshot of e.Hist. Backward steps are accounted back
+// into e.StepsTaken before returning.
+func EstimateAllParallel(e *Estimator, nodes []int, t, baseReps, extraBudget, workers int, seed int64) (map[int]float64, error) {
+	if baseReps < 1 {
+		return nil, fmt.Errorf("core: baseReps must be >= 1, got %d", baseReps)
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("core: need >= 1 worker, got %d", workers)
+	}
+	var snap *History
+	if e.Hist != nil {
+		snap = e.Hist.Snapshot()
+	}
+	ests := make([]*Estimator, workers)
+	for w := range ests {
+		ests[w] = &Estimator{
+			Client:  e.Client.Fork(newCandRNG(mixSeed(seed, -1, int64(w)))),
+			Design:  e.Design,
+			Start:   e.Start,
+			Crawl:   e.Crawl,
+			Hist:    snap,
+			Epsilon: e.Epsilon,
+		}
+	}
+
+	moments := make([]mathx.Moments, len(nodes))
+	errs := make([]error, len(nodes))
+	// runPhase estimates reps[i] additional walks for every node i, farming
+	// nodes out to the worker pool. moments[i] is touched by exactly one
+	// worker within a phase and phases are separated by wg.Wait barriers.
+	runPhase := func(phase int64, reps []int) error {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(est *Estimator) {
+				defer wg.Done()
+				for i := range idx {
+					rng := newCandRNG(mixSeed(seed, phase, int64(i)))
+					for r := 0; r < reps[i]; r++ {
+						v, err := est.EstimateOnce(nodes[i], t, rng)
+						if err != nil {
+							errs[i] = err
+							break
+						}
+						moments[i].Add(v)
+					}
+				}
+			}(ests[w])
+		}
+		for i := range nodes {
+			if reps[i] > 0 && errs[i] == nil {
+				idx <- i
+			}
+		}
+		close(idx)
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	base := make([]int, len(nodes))
+	for i := range base {
+		base[i] = baseReps
+	}
+	if err := runPhase(0, base); err != nil {
+		return nil, err
+	}
+	variances := make([]float64, len(nodes))
+	for i := range moments {
+		variances[i] = moments[i].Variance()
+	}
+	if err := runPhase(1, AllocateByVariance(variances, extraBudget)); err != nil {
+		return nil, err
+	}
+
+	for _, est := range ests {
+		e.StepsTaken += est.StepsTaken
+	}
+	out := make(map[int]float64, len(nodes))
+	for i, u := range nodes {
+		out[u] = moments[i].Mean()
+	}
+	return out, nil
+}
+
+// mixSeed derives a well-spread RNG seed from (seed, phase, index) with a
+// splitmix64-style finalizer, so per-candidate streams are independent even
+// for adjacent indices.
+func mixSeed(seed, phase, i int64) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(i+1) + 0xBF58476D1CE4E5B9*uint64(phase+2)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// sm64 is a splitmix64 rand.Source64. The pipeline seeds one RNG per
+// candidate; math/rand's default source walks a 607-word table on Seed,
+// which would dominate short estimates, while splitmix64 seeding is free.
+type sm64 struct{ s uint64 }
+
+// newCandRNG returns a cheaply-seeded deterministic RNG for one candidate.
+func newCandRNG(seed int64) *rand.Rand { return rand.New(&sm64{uint64(seed)}) }
+
+func (s *sm64) Seed(seed int64) { s.s = uint64(seed) }
+
+func (s *sm64) Uint64() uint64 {
+	s.s += 0x9E3779B97F4A7C15
+	z := s.s
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+func (s *sm64) Int63() int64 { return int64(s.Uint64() >> 1) }

@@ -61,7 +61,9 @@ func TestPropertyUnbiasednessRandomGraphs(t *testing.T) {
 		se := mo.StdDev() / math.Sqrt(reps)
 		return math.Abs(mo.Mean()-exact) <= 6*se+1e-9
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+	// Fixed quick-check seed: the bound is statistical (6σ), and the default
+	// time-derived seed makes the suite flaky roughly once per dozens of runs.
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12, Rand: rand.New(rand.NewSource(11))}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -122,7 +124,10 @@ func TestPropertyRejectionReachesTarget(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 8}); err != nil {
+	// Fixed quick-check seed: the per-node count band is statistical, and the
+	// default time-derived seed made this test flaky on ~20% of runs even on
+	// the pristine seed tree.
+	if err := quick.Check(prop, &quick.Config{MaxCount: 8, Rand: rand.New(rand.NewSource(17))}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -14,8 +14,11 @@ type ScaleBootstrap struct {
 	// Percentile in (0,1]; zero means the paper's default 0.10.
 	Percentile float64
 
+	// ratios is kept sorted by insertion, so Observe is O(n) memmove and
+	// Scale is O(1) — Scale runs once per candidate on the sampling hot
+	// path (and in the serial consumer of the parallel pipeline), where a
+	// full re-sort per call dominated profiles.
 	ratios []float64
-	sorted bool
 }
 
 func (s *ScaleBootstrap) percentile() float64 {
@@ -31,8 +34,10 @@ func (s *ScaleBootstrap) Observe(ratio float64) {
 	if ratio <= 0 {
 		return
 	}
-	s.ratios = append(s.ratios, ratio)
-	s.sorted = false
+	i := sort.SearchFloat64s(s.ratios, ratio)
+	s.ratios = append(s.ratios, 0)
+	copy(s.ratios[i+1:], s.ratios[i:])
+	s.ratios[i] = ratio
 }
 
 // N returns how many ratios have been observed.
@@ -44,10 +49,6 @@ func (s *ScaleBootstrap) N() int { return len(s.ratios) }
 func (s *ScaleBootstrap) Scale() float64 {
 	if len(s.ratios) == 0 {
 		return 0
-	}
-	if !s.sorted {
-		sort.Float64s(s.ratios)
-		s.sorted = true
 	}
 	idx := int(s.percentile() * float64(len(s.ratios)-1))
 	return s.ratios[idx]

@@ -96,6 +96,12 @@ type Sampler struct {
 	forwardSteps int64
 	attempts     int64
 	accepted     int64
+
+	// Parallel-engine state (see parallel.go): the persistent worker pool
+	// and the throttled WS-BW history snapshot handed to estimation workers.
+	workerEsts []*Estimator
+	snapHist   *History
+	snapWalks  int
 }
 
 // NewSampler builds a WALK-ESTIMATE sampler over the given metered client.
@@ -166,25 +172,32 @@ func (s *Sampler) Sample() (int, error) {
 // estimateCandidate runs the base backward repetitions plus the adaptive
 // variance top-up for a single candidate.
 func (s *Sampler) estimateCandidate(v, t int) (float64, error) {
+	return EstimateAdaptive(s.est, v, t, s.cfg.backwardReps(), s.cfg.VarianceBudget, s.rng)
+}
+
+// EstimateAdaptive estimates p_t(v) with baseReps backward walks plus up to
+// varianceBudget adaptive top-up walks, stopping early once the relative
+// standard error drops to 1 (the per-candidate form of Algorithm 3's
+// variance-driven budget allocation).
+func EstimateAdaptive(e *Estimator, v, t, baseReps, varianceBudget int, rng *rand.Rand) (float64, error) {
 	var m mathx.Moments
-	base := s.cfg.backwardReps()
-	for i := 0; i < base; i++ {
-		e, err := s.est.EstimateOnce(v, t, s.rng)
+	for i := 0; i < baseReps; i++ {
+		est, err := e.EstimateOnce(v, t, rng)
 		if err != nil {
 			return 0, err
 		}
-		m.Add(e)
+		m.Add(est)
 	}
-	for extra := 0; extra < s.cfg.VarianceBudget; extra++ {
+	for extra := 0; extra < varianceBudget; extra++ {
 		mean := m.Mean()
 		if mean > 0 && m.StdDev()/mean <= 1 {
 			break
 		}
-		e, err := s.est.EstimateOnce(v, t, s.rng)
+		est, err := e.EstimateOnce(v, t, rng)
 		if err != nil {
 			return 0, err
 		}
-		m.Add(e)
+		m.Add(est)
 	}
 	return m.Mean(), nil
 }
@@ -206,7 +219,10 @@ func (s *Sampler) SampleN(n int) (walk.Result, error) {
 		}
 		res.Nodes = append(res.Nodes, v)
 		res.Steps = append(res.Steps, int(s.TotalSteps()-prevSteps))
-		res.CostAfter = append(res.CostAfter, s.c.Queries())
+		// TotalQueries, not Queries: identical for a never-forked client,
+		// but keeps the cost axis consistent (and monotone) when sequential
+		// and parallel draws are mixed on one sampler.
+		res.CostAfter = append(res.CostAfter, s.c.TotalQueries())
 	}
 	return res, nil
 }

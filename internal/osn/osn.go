@@ -12,6 +12,7 @@ package osn
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/graph"
@@ -24,6 +25,7 @@ type Network struct {
 	g           *graph.Graph
 	attrs       map[string][]float64
 	attrFns     map[string]func(int) float64
+	attrMu      sync.Mutex // guards attrCache (clients may share a Network across goroutines)
 	attrCache   map[string]map[int]float64
 	restriction Restriction
 	rateLimit   *RateLimit
@@ -116,7 +118,7 @@ func (n *Network) AttrNames() []string {
 }
 
 // attrValue resolves an attribute for one node, consulting the table first,
-// then the memoized function attributes.
+// then the memoized function attributes. Safe for concurrent use.
 func (n *Network) attrValue(name string, v int) (float64, bool) {
 	if vals, ok := n.attrs[name]; ok {
 		return vals[v], true
@@ -125,16 +127,21 @@ func (n *Network) attrValue(name string, v int) (float64, bool) {
 	if !ok {
 		return 0, false
 	}
+	n.attrMu.Lock()
 	cache := n.attrCache[name]
 	if cache == nil {
 		cache = make(map[int]float64)
 		n.attrCache[name] = cache
 	}
-	if val, hit := cache[v]; hit {
+	val, hit := cache[v]
+	n.attrMu.Unlock()
+	if hit {
 		return val, true
 	}
-	val := fn(v)
+	val = fn(v)
+	n.attrMu.Lock()
 	cache[v] = val
+	n.attrMu.Unlock()
 	return val, true
 }
 
@@ -161,14 +168,25 @@ const (
 	CostPerCall
 )
 
-// Client is a metered third-party view of a Network. It is not safe for
-// concurrent use; create one Client per sampler run.
+// Client is a metered third-party view of a Network. A Client is not safe
+// for concurrent use — each goroutine must own its own — but Clients forked
+// from one another (Fork, NewClientShared) may run concurrently: they
+// coordinate through a SharedCache, so distinct workers stop paying for
+// duplicate cache fills while each keeps its own cost meter.
 type Client struct {
-	net      *Network
-	rng      *rand.Rand
-	mode     CostMode
-	cache    map[int32][]int32
-	queried  map[int32]bool
+	net  *Network
+	rng  *rand.Rand
+	mode CostMode
+	// cache is the client-private L1 neighbor cache. With a shared cache
+	// attached it memoizes shared lookups so the hot read path stays
+	// lock-free after warm-up; the slices alias the shared entries.
+	cache map[int32][]int32
+	// queried tracks per-client unique-node accounting; nil when shared is
+	// set (the shared cache's accounting is then authoritative).
+	queried map[int32]bool
+	// shared, when non-nil, is the cross-client neighbor cache and global
+	// unique-node accounting this client participates in.
+	shared   *SharedCache
 	queries  int64
 	calls    int64
 	waited   time.Duration
@@ -188,24 +206,74 @@ func NewClient(net *Network, mode CostMode, rng *rand.Rand) *Client {
 	}
 }
 
+// NewClientShared creates a client attached to a shared neighbor cache.
+// All clients attached to the same SharedCache collectively charge each
+// unique node once (CostUniqueNodes) and share cache fills; each client
+// still meters the charges it incurred itself. sc must not be nil.
+func NewClientShared(net *Network, mode CostMode, rng *rand.Rand, sc *SharedCache) *Client {
+	return &Client{
+		net:    net,
+		rng:    rng,
+		mode:   mode,
+		cache:  make(map[int32][]int32),
+		shared: sc,
+	}
+}
+
+// Fork returns a sibling client over the same network that shares this
+// client's neighbor cache and unique-node accounting, for use by another
+// goroutine. If the client is not yet attached to a SharedCache, its private
+// cache and accounting are promoted into a fresh one first (so nothing
+// already paid for is charged again); the promotion must happen before any
+// concurrent use. rng drives the sibling's restriction sampling.
+func (c *Client) Fork(rng *rand.Rand) *Client {
+	if c.shared == nil {
+		sc := NewSharedCache()
+		for v, nbr := range c.cache {
+			sc.shard(v).nbr[v] = nbr
+		}
+		for v := range c.queried {
+			sc.shard(v).queried[v] = true
+		}
+		sc.queries.Store(c.queries)
+		sc.calls.Store(c.calls)
+		c.shared = sc
+		c.queried = nil
+	}
+	return NewClientShared(c.net, c.mode, rng, c.shared)
+}
+
+// Shared returns the client's shared cache, or nil for a private client.
+func (c *Client) Shared() *SharedCache { return c.shared }
+
 // Neighbors issues the local-neighborhood query for v and returns its
 // (possibly restricted) neighbor list. The result must not be modified.
 func (c *Client) Neighbors(v int) []int32 {
 	vv := int32(v)
-	if c.net.restriction == nil || c.net.restriction.Deterministic() {
+	cacheable := c.net.restriction == nil || c.net.restriction.Deterministic()
+	if cacheable {
 		if nbr, ok := c.cache[vv]; ok {
 			return nbr
 		}
+		if c.shared != nil {
+			if nbr, ok := c.shared.lookup(vv); ok {
+				c.cache[vv] = nbr // L1 fill; already paid for globally
+				return nbr
+			}
+		}
 	}
-	c.charge(vv)
 	full := c.net.g.Neighbors(v)
 	nbr := full
 	if c.net.restriction != nil {
 		nbr = c.net.restriction.Apply(full, v, c.rng)
 	}
-	if c.net.restriction == nil || c.net.restriction.Deterministic() {
+	if cacheable {
+		if c.shared != nil {
+			nbr = c.shared.store(vv, nbr) // concurrent fill: keep the winner
+		}
 		c.cache[vv] = nbr
 	}
+	c.charge(vv)
 	return nbr
 }
 
@@ -226,7 +294,7 @@ func (c *Client) Attr(name string, v int) (float64, error) {
 	if !ok {
 		return 0, fmt.Errorf("osn: unknown attribute %q", name)
 	}
-	if !c.queried[int32(v)] {
+	if !c.wasQueried(int32(v)) {
 		c.charge(int32(v))
 	}
 	return val, nil
@@ -250,15 +318,15 @@ func contains(xs []int32, x int32) bool {
 
 func (c *Client) charge(v int32) {
 	c.calls++
-	switch c.mode {
-	case CostUniqueNodes:
-		if !c.queried[v] {
-			c.queried[v] = true
-			c.queries++
-		}
-	case CostPerCall:
-		c.queried[v] = true
+	if c.shared != nil {
+		c.shared.calls.Add(1)
+	}
+	first := c.markQueried(v)
+	if first || c.mode == CostPerCall {
 		c.queries++
+		if c.shared != nil {
+			c.shared.queries.Add(1)
+		}
 	}
 	if rl := c.net.rateLimit; rl != nil && rl.PerWindow > 0 {
 		c.inWindow++
@@ -269,8 +337,43 @@ func (c *Client) charge(v int32) {
 	}
 }
 
-// Queries returns the accumulated query cost under the client's CostMode.
+// markQueried records the access of v and reports whether it was the first —
+// per client normally, across all attached clients under a shared cache.
+func (c *Client) markQueried(v int32) bool {
+	if c.shared != nil {
+		return c.shared.markQueried(v)
+	}
+	if c.queried[v] {
+		return false
+	}
+	c.queried[v] = true
+	return true
+}
+
+// wasQueried reports whether v has been accessed — by this client, or by any
+// client of the shared cache when one is attached.
+func (c *Client) wasQueried(v int32) bool {
+	if c.shared != nil {
+		return c.shared.wasQueried(v)
+	}
+	return c.queried[v]
+}
+
+// Queries returns the query cost this client incurred itself under its
+// CostMode. Under a shared cache a node first touched by a sibling costs this
+// client nothing; use TotalQueries for the fleet-wide cost.
 func (c *Client) Queries() int64 { return c.queries }
+
+// TotalQueries returns the total query cost of the crawl this client is part
+// of: the shared cache's global meter when one is attached, the client's own
+// meter otherwise. This is the x-axis quantity of the paper's cost figures
+// for both single-threaded and parallel runs.
+func (c *Client) TotalQueries() int64 {
+	if c.shared != nil {
+		return c.shared.Queries()
+	}
+	return c.queries
+}
 
 // Calls returns the total number of interface calls, cached or not.
 func (c *Client) Calls() int64 { return c.calls }
@@ -278,8 +381,10 @@ func (c *Client) Calls() int64 { return c.calls }
 // Waited returns the total simulated rate-limit wait time.
 func (c *Client) Waited() time.Duration { return c.waited }
 
-// ResetCost zeroes the query and call counters (the cache is kept; use a
-// fresh Client to drop it).
+// ResetCost zeroes this client's own query and call counters (the cache is
+// kept; use a fresh Client to drop it). It does not touch an attached
+// SharedCache's fleet-wide meters — those aggregate every attached client,
+// so reset them via SharedCache.ResetCost when a measurement phase ends.
 func (c *Client) ResetCost() {
 	c.queries = 0
 	c.calls = 0
@@ -288,8 +393,12 @@ func (c *Client) ResetCost() {
 }
 
 // KnownNodes returns the ids of all nodes whose neighbor lists have been
-// requested so far (the crawler's frontier knowledge).
+// requested so far (the crawler's frontier knowledge). Under a shared cache
+// this is the combined knowledge of all attached clients.
 func (c *Client) KnownNodes() []int {
+	if c.shared != nil {
+		return c.shared.KnownNodes()
+	}
 	out := make([]int, 0, len(c.queried))
 	for v := range c.queried {
 		out = append(out, int(v))

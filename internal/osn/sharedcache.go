@@ -1,0 +1,145 @@
+package osn
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheShards is the number of independently-locked shards of a SharedCache.
+// Neighbor lookups on a social graph concentrate on hub nodes; sharding by
+// node id keeps concurrent fills of distinct hubs from serializing on one
+// lock. 64 shards is far beyond any worker count we run.
+const cacheShards = 64
+
+// SharedCache is a concurrency-safe neighbor cache plus unique-node
+// accounting that several Clients can attach to (one per worker goroutine).
+// Workers crawling the same network through a shared cache stop paying for
+// duplicate cache fills: each distinct node is fetched from the network —
+// and, in CostUniqueNodes mode, charged — exactly once across all attached
+// clients, while every client keeps its own cost meter for the charges it
+// incurred itself.
+//
+// The cache stores post-restriction neighbor lists, so it is only consulted
+// when the installed Restriction (if any) is deterministic — exactly the
+// condition under which a single-threaded Client caches.
+type SharedCache struct {
+	shards  [cacheShards]cacheShard
+	queries atomic.Int64
+	calls   atomic.Int64
+}
+
+type cacheShard struct {
+	mu      sync.RWMutex
+	nbr     map[int32][]int32
+	queried map[int32]bool
+}
+
+// NewSharedCache returns an empty shared neighbor cache.
+func NewSharedCache() *SharedCache {
+	sc := &SharedCache{}
+	for i := range sc.shards {
+		sc.shards[i].nbr = make(map[int32][]int32)
+		sc.shards[i].queried = make(map[int32]bool)
+	}
+	return sc
+}
+
+func (sc *SharedCache) shard(v int32) *cacheShard {
+	return &sc.shards[uint32(v)%cacheShards]
+}
+
+// lookup returns the cached neighbor list of v, if present.
+func (sc *SharedCache) lookup(v int32) ([]int32, bool) {
+	sh := sc.shard(v)
+	sh.mu.RLock()
+	nbr, ok := sh.nbr[v]
+	sh.mu.RUnlock()
+	return nbr, ok
+}
+
+// store inserts the neighbor list of v and returns the winning entry: if a
+// concurrent client stored v first, its list is returned so all clients
+// share one slice.
+func (sc *SharedCache) store(v int32, nbr []int32) []int32 {
+	sh := sc.shard(v)
+	sh.mu.Lock()
+	if prev, ok := sh.nbr[v]; ok {
+		sh.mu.Unlock()
+		return prev
+	}
+	sh.nbr[v] = nbr
+	sh.mu.Unlock()
+	return nbr
+}
+
+// markQueried records that v has been accessed and reports whether this was
+// the first access across all attached clients.
+func (sc *SharedCache) markQueried(v int32) bool {
+	sh := sc.shard(v)
+	sh.mu.Lock()
+	first := !sh.queried[v]
+	if first {
+		sh.queried[v] = true
+	}
+	sh.mu.Unlock()
+	return first
+}
+
+// wasQueried reports whether any attached client has accessed v.
+func (sc *SharedCache) wasQueried(v int32) bool {
+	sh := sc.shard(v)
+	sh.mu.RLock()
+	q := sh.queried[v]
+	sh.mu.RUnlock()
+	return q
+}
+
+// Queries returns the total query cost accumulated across all attached
+// clients. In CostUniqueNodes mode this equals the number of distinct nodes
+// accessed (each unique node is charged exactly once, to the client that
+// touched it first).
+func (sc *SharedCache) Queries() int64 { return sc.queries.Load() }
+
+// Calls returns the total number of interface calls across all attached
+// clients, cached or not.
+func (sc *SharedCache) Calls() int64 { return sc.calls.Load() }
+
+// ResetCost zeroes the fleet-wide query and call meters (the cache and the
+// unique-node set are kept, mirroring Client.ResetCost). Per-client meters
+// are not touched; reset those individually if a phase boundary needs them
+// at zero too. Not atomic with respect to in-flight charges — call it
+// between phases, when no attached client is active.
+func (sc *SharedCache) ResetCost() {
+	sc.queries.Store(0)
+	sc.calls.Store(0)
+}
+
+// UniqueNodes returns the number of distinct nodes accessed so far across
+// all attached clients.
+func (sc *SharedCache) UniqueNodes() int {
+	total := 0
+	for i := range sc.shards {
+		sh := &sc.shards[i]
+		sh.mu.RLock()
+		total += len(sh.queried)
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// KnownNodes returns the sorted ids of all nodes accessed so far across all
+// attached clients (the crawler fleet's combined frontier knowledge).
+func (sc *SharedCache) KnownNodes() []int {
+	var out []int
+	for i := range sc.shards {
+		sh := &sc.shards[i]
+		sh.mu.RLock()
+		for v := range sh.queried {
+			out = append(out, int(v))
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Ints(out)
+	return out
+}

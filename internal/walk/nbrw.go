@@ -92,7 +92,7 @@ func NBManyShortRuns(c *osn.Client, start, count int, m Monitor, maxSteps int, r
 		}
 		res.Nodes = append(res.Nodes, w.Node())
 		res.Steps = append(res.Steps, steps)
-		res.CostAfter = append(res.CostAfter, c.Queries())
+		res.CostAfter = append(res.CostAfter, c.TotalQueries())
 	}
 	return res, nil
 }

@@ -66,7 +66,7 @@ func ManyShortRuns(c *osn.Client, d Design, start, count int, m Monitor, maxStep
 		}
 		res.Nodes = append(res.Nodes, u)
 		res.Steps = append(res.Steps, steps)
-		res.CostAfter = append(res.CostAfter, c.Queries())
+		res.CostAfter = append(res.CostAfter, c.TotalQueries())
 	}
 	return res, nil
 }
@@ -102,7 +102,7 @@ func OneLongRun(c *osn.Client, d Design, start, burnIn, count, thin int, rng *ra
 		}
 		res.Nodes = append(res.Nodes, u)
 		res.Steps = append(res.Steps, steps)
-		res.CostAfter = append(res.CostAfter, c.Queries())
+		res.CostAfter = append(res.CostAfter, c.TotalQueries())
 	}
 	return res, nil
 }

@@ -42,6 +42,22 @@ func NewClient(net *Network, mode CostMode, rng *rand.Rand) *Client {
 	return osn.NewClient(net, mode, rng)
 }
 
+// SharedCache is a concurrency-safe neighbor cache plus global unique-node
+// accounting that several Clients (one per worker goroutine) attach to:
+// across all attached clients each distinct node is fetched — and, under
+// CostUniqueNodes, charged — exactly once.
+type SharedCache = osn.SharedCache
+
+// NewSharedCache returns an empty shared neighbor cache.
+func NewSharedCache() *SharedCache { return osn.NewSharedCache() }
+
+// NewClientShared creates a metered client attached to a shared neighbor
+// cache. Clients of the same cache may be used from different goroutines;
+// each keeps its own cost meter while the cache meters the fleet-wide cost.
+func NewClientShared(net *Network, mode CostMode, rng *rand.Rand, sc *SharedCache) *Client {
+	return osn.NewClientShared(net, mode, rng, sc)
+}
+
 // WithAttribute attaches a numeric per-node attribute table.
 func WithAttribute(name string, values []float64) NetworkOption {
 	return osn.WithAttribute(name, values)

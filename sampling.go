@@ -62,7 +62,11 @@ type WEConfig = core.Config
 
 // WESampler is the WALK-ESTIMATE sampler — the paper's primary
 // contribution. It samples from the input design's target distribution at a
-// fraction of the query cost of waiting for burn-in.
+// fraction of the query cost of waiting for burn-in. Besides the sequential
+// Sample/SampleN, it offers SampleNParallel(n, workers), which fans the
+// backward estimates across a worker pool over a shared neighbor cache and
+// is deterministic per (seed, workers); see DESIGN.md for the concurrency
+// model.
 type WESampler = core.Sampler
 
 // NewWalkEstimate builds a WALK-ESTIMATE sampler over a metered client.
@@ -74,6 +78,20 @@ func NewWalkEstimate(c *Client, cfg WEConfig, rng *rand.Rand) (*WESampler, error
 // (UNBIASED-ESTIMATE / WS-BW, Section 5); exposed for advanced use such as
 // estimating p_t(v) for nodes of interest directly.
 type Estimator = core.Estimator
+
+// EstimateAll is the batch form of Algorithm 3 (ESTIMATE): baseReps backward
+// walks per node plus extraBudget walks allocated by estimation variance.
+func EstimateAll(e *Estimator, nodes []int, t, baseReps, extraBudget int, rng *rand.Rand) (map[int]float64, error) {
+	return core.EstimateAll(e, nodes, t, baseReps, extraBudget, rng)
+}
+
+// EstimateAllParallel is EstimateAll with the independent backward
+// repetitions fanned across a worker pool over a shared neighbor cache. The
+// result is a deterministic function of seed, independent of workers and
+// scheduling; see DESIGN.md.
+func EstimateAllParallel(e *Estimator, nodes []int, t, baseReps, extraBudget, workers int, seed int64) (map[int]float64, error) {
+	return core.EstimateAllParallel(e, nodes, t, baseReps, extraBudget, workers, seed)
+}
 
 // CrawlTable holds exact step-τ probabilities inside the crawled h-hop ball
 // around the start node (initial-crawling heuristic, Section 5.2).

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs the WALK-ESTIMATE performance benchmarks and records the results in
+# BENCH_walkestimate.json so successive PRs accumulate a perf trajectory.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 10x per benchmark op)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-10x}"
+OUT="BENCH_walkestimate.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'BenchmarkParallelWE|BenchmarkFig5' \
+  -benchtime "$BENCHTIME" -timeout 30m . | tee "$RAW"
+
+# Parse `go test -bench` lines into JSON. Lines look like:
+#   BenchmarkParallelWE/Parallel-8  20  5373643 ns/op  97.07 queries/sample  8.000 workers
+awk -v benchtime="$BENCHTIME" '
+  BEGIN { n = 0 }
+  /^Benchmark/ {
+    name = $1; iters = $2
+    nsop = ""; qps = ""; workers = ""
+    for (i = 3; i < NF; i++) {
+      if ($(i+1) == "ns/op")          nsop = $i
+      if ($(i+1) == "queries/sample") qps = $i
+      if ($(i+1) == "workers")        workers = $i
+    }
+    if (nsop == "") next
+    line = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", name, iters, nsop)
+    if (qps != "")     line = line sprintf(", \"queries_per_sample\": %s", qps)
+    if (workers != "") line = line sprintf(", \"workers\": %s", workers)
+    line = line "}"
+    lines[n++] = line
+  }
+  END {
+    printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", benchtime
+    for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
+    printf "  ]\n}\n"
+  }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
