@@ -2,9 +2,9 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
+	"repro/internal/fastrand"
 	"repro/internal/mathx"
 	"repro/internal/osn"
 	"repro/internal/walk"
@@ -24,6 +24,11 @@ import (
 // which reduces to the paper's factor under uniform picks and stays unbiased
 // under any pick distribution with full support (guaranteed by the ε-mixing
 // of Equation line 4 in Algorithm 2).
+//
+// Configuration freeze: Client, Design and Epsilon must be set before the
+// first estimate and not mutated afterwards — the step kernel caches values
+// derived from them on first use. Crawl and Hist may be swapped between
+// estimates (the parallel pipeline re-points Hist at fresh snapshots).
 type Estimator struct {
 	Client *osn.Client
 	Design walk.Design
@@ -46,6 +51,15 @@ type Estimator struct {
 	// Estimator keeps the WS-BW inner loop allocation-free; parallel callers
 	// give each worker its own Estimator, so no synchronization is needed.
 	scratch []float64
+
+	// probKind/fastEdge/selfLoops/eps cache per-(Design, Client) constants
+	// so the step kernel makes no interface calls for them: initialized on
+	// the first EstimateOnce.
+	probKind  walk.EdgeProbKind
+	probInit  bool
+	fastEdge  bool
+	selfLoops bool
+	eps       float64
 }
 
 func (e *Estimator) epsilon() float64 {
@@ -55,14 +69,31 @@ func (e *Estimator) epsilon() float64 {
 	return e.Epsilon
 }
 
+func (e *Estimator) initProbKind() {
+	e.probKind = walk.EdgeProbKindOf(e.Design)
+	e.fastEdge = e.probKind != walk.EdgeProbNone && e.Client.SymmetricView()
+	e.selfLoops = e.Design.SelfLoops()
+	e.eps = e.epsilon()
+	e.probInit = true
+}
+
 // EstimateOnce returns a single unbiased estimate of p_t(u). The walk's
 // queries are charged to the estimator's client.
-func (e *Estimator) EstimateOnce(u, t int, rng *rand.Rand) (float64, error) {
+//
+// The loop carries the current node's neighbor list from step to step: the
+// list fetched to compute p(w→node) is exactly the candidate list the next
+// backward step needs, so each step performs one Neighbors call, not three.
+func (e *Estimator) EstimateOnce(u, t int, rng fastrand.RNG) (float64, error) {
 	if t < 0 {
 		return 0, fmt.Errorf("core: negative step count %d", t)
 	}
+	if !e.probInit {
+		e.initProbKind()
+	}
 	weight := 1.0
 	node := u
+	var nbr []int32
+	haveNbr := false
 	for step := t; step > 0; step-- {
 		// Initial-crawling early exit: exact value available.
 		if e.Crawl != nil {
@@ -70,12 +101,32 @@ func (e *Estimator) EstimateOnce(u, t int, rng *rand.Rand) (float64, error) {
 				return weight * p, nil
 			}
 		}
-		w, pick, err := e.backStep(node, step, rng)
+		if !haveNbr {
+			nbr = e.Client.Neighbors(node)
+			haveNbr = true
+		}
+		w, pick, err := e.backStep(node, step, nbr, rng)
 		if err != nil {
 			return 0, err
 		}
 		e.StepsTaken++
-		trans := e.Design.Prob(e.Client, w, node) // p(w→node)
+		var trans float64 // p(w→node)
+		if w == node {
+			// Self-loop candidate: the stay-probability has no degree-only
+			// form (for MHRW it scans all neighbor degrees). nbr stays valid.
+			trans = e.Design.Prob(e.Client, w, node)
+		} else {
+			wNbr := e.Client.Neighbors(w)
+			if e.fastEdge && len(wNbr) > 0 {
+				// w was drawn from N(node) and the view is symmetric, so
+				// {w,node} is an edge and p(w→node) follows from the two
+				// degrees already in hand — no membership scan.
+				trans = e.probKind.Prob(len(wNbr), len(nbr))
+			} else {
+				trans = e.Design.Prob(e.Client, w, node)
+			}
+			nbr = wNbr
+		}
 		if trans == 0 {
 			// Only reachable via the self-loop candidate when the design's
 			// stay-probability happens to be 0; the estimate is exactly 0.
@@ -96,29 +147,31 @@ func (e *Estimator) EstimateOnce(u, t int, rng *rand.Rand) (float64, error) {
 }
 
 // backStep samples the predecessor candidate w for the current node and
-// returns it with its pick probability. Candidates are N(node), plus node
-// itself for designs with self-loops.
-func (e *Estimator) backStep(node, step int, rng *rand.Rand) (w int, pick float64, err error) {
-	nbr := e.Client.Neighbors(node)
-	selfLoop := e.Design.SelfLoops()
+// returns it with its pick probability. Candidates are nbr = N(node), plus
+// node itself (the last slot) for designs with self-loops. The WS-BW path is
+// a flat two-pass kernel over the dense history row — accumulate smoothed
+// hit counts into the scratch buffer, then inverse-CDF select — with no
+// per-candidate function values and no allocation.
+func (e *Estimator) backStep(node, step int, nbr []int32, rng fastrand.RNG) (w int, pick float64, err error) {
+	if !e.probInit {
+		e.initProbKind()
+	}
 	total := len(nbr)
-	if selfLoop {
+	if e.selfLoops {
 		total++
 	}
 	if total == 0 {
 		return 0, 0, fmt.Errorf("core: node %d has no predecessor candidates", node)
 	}
-	candidate := func(i int) int {
-		if i < len(nbr) {
-			return int(nbr[i])
-		}
-		return node // self-loop slot
-	}
+	uniform := 1 / float64(total)
 
 	if e.Hist == nil || e.Hist.Walks() == 0 {
 		// UNBIASED-ESTIMATE: uniform pick.
 		i := rng.Intn(total)
-		return candidate(i), 1 / float64(total), nil
+		if i < len(nbr) {
+			return int(nbr[i]), uniform, nil
+		}
+		return node, uniform, nil // self-loop slot
 	}
 
 	// WS-BW: mix the uniform distribution with the (Laplace-smoothed)
@@ -136,44 +189,68 @@ func (e *Estimator) backStep(node, step int, rng *rand.Rand) (w int, pick float6
 	// Any full-support pick distribution keeps the estimator unbiased via
 	// the p(w→u)/π_pick(w) correction; the tempering only controls
 	// variance. The worst-case per-step weight inflation is 1/ε.
-	eps := e.epsilon()
+	// Hit rows are dense by id but sparse in content, so candidates are
+	// tested against the cache-resident nonzero bitset first; the wide
+	// counter row is only dereferenced for candidates with hits (a set bit
+	// guarantees the row index is in range).
+	row := e.Hist.Row(step - 1)
+	bits := e.Hist.RowBits(step - 1)
 	if cap(e.scratch) < total {
-		e.scratch = make([]float64, total)
+		e.scratch = make([]float64, total+total/2)
 	}
 	hits := e.scratch[:total]
 	var z float64
-	for i := 0; i < total; i++ {
-		h := float64(e.Hist.Hits(candidate(i), step-1))
+	for i, nb := range nbr {
+		var h float64
+		if wd := uint(nb) >> 6; int(wd) < len(bits) && bits[wd]&(1<<(uint(nb)&63)) != 0 {
+			h = float64(row[nb])
+		}
 		hits[i] = h
 		z += h
 	}
-	uniform := 1 / float64(total)
+	if total > len(nbr) { // self-loop slot
+		var h float64
+		if wd := uint(node) >> 6; wd < uint(len(bits)) && bits[wd]&(1<<(uint(node)&63)) != 0 {
+			h = float64(row[node])
+		}
+		hits[total-1] = h
+		z += h
+	}
 	if z == 0 {
 		i := rng.Intn(total)
-		return candidate(i), uniform, nil
+		if i < len(nbr) {
+			return int(nbr[i]), uniform, nil
+		}
+		return node, uniform, nil
 	}
-	beta := (1 - eps) * z / (z + float64(total))
+	eps := e.eps
 	smoothZ := z + float64(total) // Laplace: +1 per candidate
-	prob := func(i int) float64 {
-		return (1-beta)*uniform + beta*(hits[i]+1)/smoothZ
-	}
+	beta := (1 - eps) * z / smoothZ
+	// prob(i) = (1-beta)*uniform + beta*(hits[i]+1)/smoothZ, precomputed as
+	// base + scale*(hits[i]+1) so the selection loop is add-and-compare.
+	base := (1 - beta) * uniform
+	scale := beta / smoothZ
 	r := rng.Float64()
 	acc := 0.0
 	chosen := total - 1
 	for i := 0; i < total; i++ {
-		acc += prob(i)
+		acc += base + scale*(hits[i]+1)
 		if r < acc {
 			chosen = i
 			break
 		}
 	}
-	return candidate(chosen), prob(chosen), nil
+	pick = base + scale*(hits[chosen]+1)
+	if chosen < len(nbr) {
+		return int(nbr[chosen]), pick, nil
+	}
+	return node, pick, nil
 }
 
 // Estimate runs reps independent backward walks and returns the mean
 // estimate together with the sample variance of the individual estimates
 // (Algorithm 3's per-node quantities).
-func (e *Estimator) Estimate(u, t, reps int, rng *rand.Rand) (mean, variance float64, err error) {
+func (e *Estimator) Estimate(u, t, reps int, rng fastrand.RNG) (mean, variance float64, err error) {
 	if reps < 1 {
 		return 0, 0, fmt.Errorf("core: reps must be >= 1, got %d", reps)
 	}

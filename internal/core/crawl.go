@@ -18,12 +18,18 @@ import (
 // ball; crawling h hops reveals the full neighbor lists (hence degrees and
 // transition probabilities) of every node within distance h, so the DP for
 // τ <= h never needs information outside the crawl.
+//
+// Probabilities are stored as dense per-step rows indexed by node id
+// (rows[τ][v] = p_τ(v); ids at or beyond len(rows[τ]) have probability 0),
+// so the estimator's per-step Lookup — on the hot path of every backward
+// walk — is two array indexings. A welcome side effect vs. the map rows this
+// replaced: the DP accumulates in ascending node order, so the computed
+// floating-point values are identical across runs.
 type CrawlTable struct {
 	h     int
 	start int
-	// probs[τ] maps node -> p_τ(node); nodes absent from the map have
-	// probability exactly 0 at that step.
-	probs []map[int32]float64
+	rows  [][]float64
+	size  int // number of nonzero entries, for Size()
 }
 
 // BuildCrawlTable crawls the h-hop ball around start through the client
@@ -34,8 +40,10 @@ func BuildCrawlTable(c *osn.Client, d walk.Design, start, h int) (*CrawlTable, e
 	if h < 0 {
 		return nil, fmt.Errorf("core: crawl depth %d must be >= 0", h)
 	}
-	ct := &CrawlTable{h: h, start: start, probs: make([]map[int32]float64, h+1)}
-	ct.probs[0] = map[int32]float64{int32(start): 1}
+	ct := &CrawlTable{h: h, start: start, rows: make([][]float64, h+1), size: 1}
+	row0 := make([]float64, start+1)
+	row0[start] = 1
+	ct.rows[0] = row0
 
 	// Crawl the ball: query every node within distance h.
 	dist := map[int32]int{int32(start): 0}
@@ -59,28 +67,42 @@ func BuildCrawlTable(c *osn.Client, d walk.Design, start, h int) (*CrawlTable, e
 	// p_{τ-1} are within distance τ-1 <= h-1, so their transition rows are
 	// fully known (and cached by the client, costing nothing extra).
 	for tau := 1; tau <= h; tau++ {
-		cur := make(map[int32]float64)
-		for w, pw := range ct.probs[tau-1] {
+		prev := ct.rows[tau-1]
+		var cur []float64
+		add := func(v int32, p float64) {
+			if int(v) >= len(cur) {
+				grown := make([]float64, int(v)+1+int(v)/2)
+				copy(grown, cur)
+				cur = grown
+			}
+			cur[v] += p
+		}
+		for w, pw := range prev {
 			if pw == 0 {
 				continue
 			}
-			nbr := c.Neighbors(int(w))
+			nbr := c.Neighbors(w)
 			for _, v := range nbr {
-				p := d.Prob(c, int(w), int(v))
+				p := d.Prob(c, w, int(v))
 				if p > 0 {
-					cur[v] += p * pw
+					add(v, p*pw)
 				}
 			}
 			// Self-loop mass: designs with explicit self-loops (MHRW), and
 			// any design at a stranded degree-0 node, where every walk stays
 			// in place (Prob(w,w) = 1 for both SRW and MHRW).
 			if d.SelfLoops() || len(nbr) == 0 {
-				if p := d.Prob(c, int(w), int(w)); p > 0 {
-					cur[w] += p * pw
+				if p := d.Prob(c, w, w); p > 0 {
+					add(int32(w), p*pw)
 				}
 			}
 		}
-		ct.probs[tau] = cur
+		for _, p := range cur {
+			if p != 0 {
+				ct.size++
+			}
+		}
+		ct.rows[tau] = cur
 	}
 	return ct, nil
 }
@@ -96,14 +118,13 @@ func (ct *CrawlTable) Lookup(v, tau int) (p float64, ok bool) {
 	if tau < 0 || tau > ct.h {
 		return 0, false
 	}
-	return ct.probs[tau][int32(v)], true
+	row := ct.rows[tau]
+	if v < 0 || v >= len(row) {
+		return 0, true
+	}
+	return row[v], true
 }
 
-// Size returns the number of (step, node) entries stored, for diagnostics.
-func (ct *CrawlTable) Size() int {
-	total := 0
-	for _, m := range ct.probs {
-		total += len(m)
-	}
-	return total
-}
+// Size returns the number of nonzero (step, node) probabilities stored, for
+// diagnostics.
+func (ct *CrawlTable) Size() int { return ct.size }

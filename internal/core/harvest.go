@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
+	"repro/internal/fastrand"
 
 	"repro/internal/osn"
 	"repro/internal/walk"
@@ -27,7 +27,7 @@ type HarvestSampler struct {
 	cfg     Config
 	minStep int
 	c       *osn.Client
-	rng     *rand.Rand
+	rng     fastrand.RNG
 	est     *Estimator
 	hist    *History
 	// boots holds one scale bootstrap per harvested step: p_τ magnitudes
@@ -42,7 +42,7 @@ type HarvestSampler struct {
 // NewHarvestSampler builds the path-harvesting WALK-ESTIMATE variant.
 // minStep is the first step whose node is taken as a candidate; 0 means
 // ceil(WalkLength/2), a conservative mid-path default.
-func NewHarvestSampler(c *osn.Client, cfg Config, minStep int, rng *rand.Rand) (*HarvestSampler, error) {
+func NewHarvestSampler(c *osn.Client, cfg Config, minStep int, rng fastrand.RNG) (*HarvestSampler, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}

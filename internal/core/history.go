@@ -7,16 +7,23 @@ package core
 // carry most of the probability mass being estimated.
 //
 // Counters are stored as step-indexed dense slices (counts[step][node]) that
-// grow on demand, so the WS-BW inner loop — one Hits lookup per predecessor
-// candidate per backward step — is two array indexings instead of a map hash.
-// The tradeoff: each step row grows to the maximum node id visited at that
+// grow on demand. The WS-BW inner loop asks for the whole per-step row once
+// (Row) and indexes it directly per predecessor candidate — one bounds check
+// and one array load, no map hash and no per-candidate method call. The
+// tradeoff: each step row grows to the maximum node id visited at that
 // step, so memory (and Snapshot cost) is O(maxVisitedId · walkLength) —
 // about 4 MB for a 50k-node graph at walk length 15 — rather than the
 // O(walks · walkLength) of the map it replaced. At the multi-million-node
 // scale a sparse row representation would be worth revisiting.
 type History struct {
 	counts [][]int32 // counts[step][node]; short rows mean zero hits beyond
-	walks  int
+	// nz[step] is the nonzero bitset of counts[step]: bit v is set iff
+	// counts[step][v] > 0. Hit rows are long (max visited id) but extremely
+	// sparse (at most one nonzero per recorded walk), so the candidate scan
+	// tests the 64×-denser, cache-resident bitset first and touches the
+	// counter row only for the few candidates that actually have hits.
+	nz    [][]uint64
+	walks int
 }
 
 // NewHistory returns an empty history.
@@ -28,6 +35,7 @@ func NewHistory() *History {
 func (h *History) RecordWalk(path []int) {
 	for len(h.counts) < len(path) {
 		h.counts = append(h.counts, nil)
+		h.nz = append(h.nz, nil)
 	}
 	for step, node := range path {
 		row := h.counts[step]
@@ -36,10 +44,37 @@ func (h *History) RecordWalk(path []int) {
 			copy(grown, row)
 			row = grown
 			h.counts[step] = row
+			words := make([]uint64, (len(row)+63)/64)
+			copy(words, h.nz[step])
+			h.nz[step] = words
 		}
 		row[node]++
+		h.nz[step][uint(node)>>6] |= 1 << (uint(node) & 63)
 	}
 	h.walks++
+}
+
+// Row returns the dense hit-counter row for one step: Row(step)[v] is the
+// number of recorded walks that visited v at that step. Nodes at or beyond
+// len(Row(step)) have zero hits; out-of-range steps yield an empty row. The
+// returned slice aliases live counters and must not be modified; against a
+// Snapshot it is immutable. Row never allocates.
+func (h *History) Row(step int) []int32 {
+	if step < 0 || step >= len(h.counts) {
+		return nil
+	}
+	return h.counts[step]
+}
+
+// RowBits returns the nonzero bitset of Row(step): bit v is set iff
+// Row(step)[v] > 0. A set bit guarantees v < len(Row(step)), so callers may
+// index the row unconditionally after testing the bit. Like Row it aliases
+// live state, must not be modified, and never allocates.
+func (h *History) RowBits(step int) []uint64 {
+	if step < 0 || step >= len(h.nz) {
+		return nil
+	}
+	return h.nz[step]
 }
 
 // Hits returns n_{node,step}: how many recorded walks visited node at step.
@@ -67,6 +102,10 @@ func (h *History) Snapshot() *History {
 		s.counts = make([][]int32, len(h.counts))
 		for i, row := range h.counts {
 			s.counts[i] = append([]int32(nil), row...)
+		}
+		s.nz = make([][]uint64, len(h.nz))
+		for i, words := range h.nz {
+			s.nz[i] = append([]uint64(nil), words...)
 		}
 	}
 	return s

@@ -1,0 +1,190 @@
+package core
+
+// Micro-benchmarks and allocation-regression guards for the dense hot-path
+// kernels: backStep (the WS-BW inner loop, ~90% of all walk steps per
+// DESIGN.md), History.Row, and the full EstimateOnce backward walk.
+// scripts/bench_kernels.sh records these in BENCH_kernels.json.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fastrand"
+	"repro/internal/gen"
+	"repro/internal/osn"
+	"repro/internal/walk"
+)
+
+// kernelFixture builds a warm estimator with a populated WS-BW history over
+// a 20k-node BA graph, mirroring the state of a mid-run sampler.
+func kernelFixture(tb testing.TB, t int) (*Estimator, int) {
+	tb.Helper()
+	g := gen.BarabasiAlbert(20000, 5, rand.New(rand.NewSource(2)))
+	net := osn.NewNetwork(g)
+	rng := rand.New(rand.NewSource(3))
+	c := osn.NewClient(net, osn.CostUniqueNodes, rng)
+	hist := NewHistory()
+	var v int
+	for i := 0; i < 200; i++ {
+		path := walk.Path(c, walk.SRW{}, 0, t, rng)
+		hist.RecordWalk(path)
+		v = path[len(path)-1]
+	}
+	e := &Estimator{Client: c, Design: walk.SRW{}, Start: 0, Hist: hist}
+	return e, v
+}
+
+// BenchmarkBackStep measures one weighted backward step at a warm node —
+// the dense row scan plus the fused tempered-mix inverse-CDF selection. It
+// must report 0 allocs/op.
+func BenchmarkBackStep(b *testing.B) {
+	const t = 13
+	e, v := kernelFixture(b, t)
+	rng := fastrand.New(7)
+	nbr := e.Client.Neighbors(v)
+	if _, _, err := e.backStep(v, t, nbr, rng); err != nil { // grow scratch
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.backStep(v, t, nbr, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHistoryRow measures the per-step counter-row handoff.
+func BenchmarkHistoryRow(b *testing.B) {
+	e, _ := kernelFixture(b, 13)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += len(e.Hist.Row(i % 13))
+	}
+	_ = sink
+}
+
+// BenchmarkEstimateOnce measures a full backward walk (no crawl shortcut):
+// t weighted steps, each one backStep + one warm Neighbors + the
+// degree-cached transition probability.
+func BenchmarkEstimateOnce(b *testing.B) {
+	const t = 13
+	e, v := kernelFixture(b, t)
+	rng := fastrand.New(7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.EstimateOnce(v, t, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestBackStepAllocs is the allocation-regression guard for the WS-BW inner
+// loop: after the scratch buffer's first growth, a backward step must not
+// allocate — uniform path (no history) and weighted path alike.
+func TestBackStepAllocs(t *testing.T) {
+	const steps = 13
+	e, v := kernelFixture(t, steps)
+	rng := fastrand.New(7)
+	nbr := e.Client.Neighbors(v)
+	if _, _, err := e.backStep(v, steps, nbr, rng); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		if _, _, err := e.backStep(v, steps, nbr, rng); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("weighted backStep allocates %v/op, want 0", avg)
+	}
+
+	e.Hist = nil // UNBIASED-ESTIMATE uniform path
+	if avg := testing.AllocsPerRun(1000, func() {
+		if _, _, err := e.backStep(v, steps, nbr, rng); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("uniform backStep allocates %v/op, want 0", avg)
+	}
+}
+
+// TestHistoryRowAllocs guards Row's zero-allocation contract and its
+// agreement with Hits.
+func TestHistoryRowAllocs(t *testing.T) {
+	h := NewHistory()
+	h.RecordWalk([]int{3, 1, 4})
+	h.RecordWalk([]int{3, 5, 4})
+	if avg := testing.AllocsPerRun(1000, func() { h.Row(1) }); avg != 0 {
+		t.Errorf("History.Row allocates %v/op, want 0", avg)
+	}
+	for step := -1; step <= 3; step++ {
+		row := h.Row(step)
+		for node := 0; node < 8; node++ {
+			var fromRow int
+			if node < len(row) {
+				fromRow = int(row[node])
+			}
+			if hits := h.Hits(node, step); fromRow != hits {
+				t.Errorf("Row(%d)[%d] = %d disagrees with Hits = %d", step, node, fromRow, hits)
+			}
+		}
+	}
+}
+
+// TestEstimateOnceWarmAllocs pins the whole backward walk at zero
+// allocations once caches are warm — the per-core throughput contract of
+// the dense kernel rebuild.
+func TestEstimateOnceWarmAllocs(t *testing.T) {
+	const steps = 13
+	e, v := kernelFixture(t, steps)
+	rng := fastrand.New(7)
+	if _, err := e.EstimateOnce(v, steps, rng); err != nil {
+		t.Fatal(err)
+	}
+	// Backward walks roam; warm every node reachable backwards by running a
+	// few estimates first (queries are free here — private client, no cost
+	// assertions).
+	for i := 0; i < 200; i++ {
+		if _, err := e.EstimateOnce(v, steps, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := e.EstimateOnce(v, steps, rng); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("warm EstimateOnce allocates %v/op, want 0", avg)
+	}
+}
+
+// TestEdgeProbFastMatchesProb cross-checks the degree-cached transition
+// fast path against the membership-scan Design.Prob on real neighbor pairs,
+// bit for bit.
+func TestEdgeProbFastMatchesProb(t *testing.T) {
+	g := gen.BarabasiAlbert(500, 3, rand.New(rand.NewSource(9)))
+	net := osn.NewNetwork(g)
+	c := osn.NewClient(net, osn.CostUniqueNodes, rand.New(rand.NewSource(10)))
+	if !c.SymmetricView() {
+		t.Fatal("unrestricted client must report a symmetric view")
+	}
+	for _, d := range []walk.Design{walk.SRW{}, walk.MHRW{}} {
+		kind := walk.EdgeProbKindOf(d)
+		if kind == walk.EdgeProbNone {
+			t.Fatalf("%s must have a degree-only fast path", d.Name())
+		}
+		for u := 0; u < 100; u++ {
+			for _, w := range c.Neighbors(u) {
+				du, dw := c.Degree(u), c.Degree(int(w))
+				want := d.Prob(c, int(w), u) // p(w→u)
+				if got := kind.Prob(dw, du); got != want {
+					t.Fatalf("%s: fast p(%d→%d) = %v, Prob = %v", d.Name(), w, u, got, want)
+				}
+			}
+		}
+	}
+}

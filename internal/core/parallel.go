@@ -2,9 +2,9 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 
+	"repro/internal/fastrand"
 	"repro/internal/mathx"
 	"repro/internal/walk"
 )
@@ -86,7 +86,7 @@ func (s *Sampler) SampleNParallel(n, workers int) (walk.Result, error) {
 	if len(s.workerEsts) != workers {
 		s.workerEsts = make([]*Estimator, workers)
 		for w := range s.workerEsts {
-			wc := s.c.Fork(newCandRNG(s.rng.Int63()))
+			wc := s.c.Fork(fastrand.New(s.rng.Int63()))
 			s.workerEsts[w] = &Estimator{
 				Client:  wc,
 				Design:  s.cfg.Design,
@@ -109,7 +109,10 @@ func (s *Sampler) SampleNParallel(n, workers int) (walk.Result, error) {
 			for cd := range jobs {
 				e.Hist = cd.hist
 				pre := e.StepsTaken
-				rng := newCandRNG(cd.estSeed)
+				// One cheaply-seeded xoshiro256++ stream per candidate;
+				// math/rand's default source walks a 607-word table on
+				// Seed, which would dominate short estimates.
+				rng := fastrand.New(cd.estSeed)
 				cd.pHat, cd.err = EstimateAdaptive(e, cd.v, t, baseReps, budget, rng)
 				if cd.err == nil {
 					cd.q = s.cfg.Design.TargetWeight(e.Client, cd.v)
@@ -281,7 +284,7 @@ func EstimateAllParallel(e *Estimator, nodes []int, t, baseReps, extraBudget, wo
 	ests := make([]*Estimator, workers)
 	for w := range ests {
 		ests[w] = &Estimator{
-			Client:  e.Client.Fork(newCandRNG(mixSeed(seed, -1, int64(w)))),
+			Client:  e.Client.Fork(fastrand.New(fastrand.Mix(seed, int64(w), -1))),
 			Design:  e.Design,
 			Start:   e.Start,
 			Crawl:   e.Crawl,
@@ -303,7 +306,7 @@ func EstimateAllParallel(e *Estimator, nodes []int, t, baseReps, extraBudget, wo
 			go func(est *Estimator) {
 				defer wg.Done()
 				for i := range idx {
-					rng := newCandRNG(mixSeed(seed, phase, int64(i)))
+					rng := fastrand.New(fastrand.Mix(seed, int64(i), phase))
 					for r := 0; r < reps[i]; r++ {
 						v, err := est.EstimateOnce(nodes[i], t, rng)
 						if err != nil {
@@ -354,39 +357,3 @@ func EstimateAllParallel(e *Estimator, nodes []int, t, baseReps, extraBudget, wo
 	}
 	return out, nil
 }
-
-// mixSeed derives a well-spread RNG seed from (seed, phase, index) with a
-// splitmix64-style finalizer, so per-candidate streams are independent even
-// for adjacent indices.
-func mixSeed(seed, phase, i int64) int64 {
-	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(i+1) + 0xBF58476D1CE4E5B9*uint64(phase+2)
-	z ^= z >> 30
-	z *= 0xBF58476D1CE4E5B9
-	z ^= z >> 27
-	z *= 0x94D049BB133111EB
-	z ^= z >> 31
-	return int64(z)
-}
-
-// sm64 is a splitmix64 rand.Source64. The pipeline seeds one RNG per
-// candidate; math/rand's default source walks a 607-word table on Seed,
-// which would dominate short estimates, while splitmix64 seeding is free.
-type sm64 struct{ s uint64 }
-
-// newCandRNG returns a cheaply-seeded deterministic RNG for one candidate.
-func newCandRNG(seed int64) *rand.Rand { return rand.New(&sm64{uint64(seed)}) }
-
-func (s *sm64) Seed(seed int64) { s.s = uint64(seed) }
-
-func (s *sm64) Uint64() uint64 {
-	s.s += 0x9E3779B97F4A7C15
-	z := s.s
-	z ^= z >> 30
-	z *= 0xBF58476D1CE4E5B9
-	z ^= z >> 27
-	z *= 0x94D049BB133111EB
-	z ^= z >> 31
-	return z
-}
-
-func (s *sm64) Int63() int64 { return int64(s.Uint64() >> 1) }

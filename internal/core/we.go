@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
+	"repro/internal/fastrand"
 
 	"repro/internal/mathx"
 	"repro/internal/osn"
@@ -88,7 +88,7 @@ func (c *Config) maxAttempts() int {
 type Sampler struct {
 	cfg  Config
 	c    *osn.Client
-	rng  *rand.Rand
+	rng  fastrand.RNG
 	est  *Estimator
 	hist *History
 	boot ScaleBootstrap
@@ -107,7 +107,7 @@ type Sampler struct {
 // NewSampler builds a WALK-ESTIMATE sampler over the given metered client.
 // If cfg.UseCrawl is set, the initial crawl happens here and its queries are
 // charged to the client immediately.
-func NewSampler(c *osn.Client, cfg Config, rng *rand.Rand) (*Sampler, error) {
+func NewSampler(c *osn.Client, cfg Config, rng fastrand.RNG) (*Sampler, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -179,7 +179,7 @@ func (s *Sampler) estimateCandidate(v, t int) (float64, error) {
 // varianceBudget adaptive top-up walks, stopping early once the relative
 // standard error drops to 1 (the per-candidate form of Algorithm 3's
 // variance-driven budget allocation).
-func EstimateAdaptive(e *Estimator, v, t, baseReps, varianceBudget int, rng *rand.Rand) (float64, error) {
+func EstimateAdaptive(e *Estimator, v, t, baseReps, varianceBudget int, rng fastrand.RNG) (float64, error) {
 	var m mathx.Moments
 	for i := 0; i < baseReps; i++ {
 		est, err := e.EstimateOnce(v, t, rng)
@@ -252,7 +252,7 @@ func (s *Sampler) BackwardSteps() int64 { return s.est.StepsTaken }
 // p_t(u) for every node in nodes with baseReps backward walks each, then
 // spends extraBudget additional walks allocated proportionally to the
 // per-node estimation variances, and returns the merged estimates.
-func EstimateAll(e *Estimator, nodes []int, t, baseReps, extraBudget int, rng *rand.Rand) (map[int]float64, error) {
+func EstimateAll(e *Estimator, nodes []int, t, baseReps, extraBudget int, rng fastrand.RNG) (map[int]float64, error) {
 	if baseReps < 1 {
 		return nil, fmt.Errorf("core: baseReps must be >= 1, got %d", baseReps)
 	}

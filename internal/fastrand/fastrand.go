@@ -1,0 +1,128 @@
+// Package fastrand provides the pseudo-random number generator used on the
+// sampling hot paths: a splitmix64-seeded xoshiro256++ generator with a
+// Lemire-style bounded Intn and a branchless Float64.
+//
+// math/rand's default source is a 607-word lagged-Fibonacci table whose Seed
+// walks the whole table — far too slow for the per-candidate RNG streams of
+// the parallel WALK-ESTIMATE pipeline — and its Intn takes a modulo plus a
+// rejection loop per draw. xoshiro256++ seeds in four splitmix64 steps,
+// generates a word in a handful of xor/rotate ops, and Lemire's
+// multiply-shift bound rejects with probability < n/2^64.
+//
+// Determinism contract: for a fixed seed, the stream of Uint64 values — and
+// therefore of Intn, Int63 and Float64 values — is a frozen part of the
+// repository's behavior. Parallel sampling derives one Rand per candidate
+// from (seed, index) via Mix, so results are reproducible for any worker
+// count; tests pin golden streams to detect accidental algorithm changes.
+//
+// A *Rand is not safe for concurrent use; give each goroutine its own.
+package fastrand
+
+import "math/bits"
+
+// RNG is the random-source interface consumed by the walk and core hot
+// paths. Both *Rand and math/rand's *Rand satisfy it, so public APIs that
+// accept a *rand.Rand keep working while the internal engines run on the
+// faster generator.
+type RNG interface {
+	// Intn returns a uniform int in [0, n). It panics if n <= 0.
+	Intn(n int) int
+	// Int63 returns a uniform non-negative int64.
+	Int63() int64
+	// Float64 returns a uniform float64 in [0, 1).
+	Float64() float64
+}
+
+// Rand is a xoshiro256++ generator. The zero value is invalid (an all-zero
+// state is a fixed point); construct with New.
+//
+// Rand implements math/rand's Source64, so it can also back a *rand.Rand
+// when an API demands one.
+type Rand struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a generator whose state is expanded from seed with splitmix64,
+// per the xoshiro authors' recommendation: any seed (including 0) yields a
+// well-mixed nonzero state, and nearby seeds yield uncorrelated streams.
+func New(seed int64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator to the state derived from seed.
+func (r *Rand) Seed(seed int64) {
+	s := uint64(seed)
+	r.s0 = splitmix64(&s)
+	r.s1 = splitmix64(&s)
+	r.s2 = splitmix64(&s)
+	r.s3 = splitmix64(&s)
+}
+
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := *s
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// Uint64 returns the next xoshiro256++ output word.
+func (r *Rand) Uint64() uint64 {
+	out := bits.RotateLeft64(r.s0+r.s3, 23) + r.s0
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = bits.RotateLeft64(r.s3, 45)
+	return out
+}
+
+// Int63 implements RNG (and math/rand's Source).
+func (r *Rand) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Intn implements RNG with Lemire's nearly-divisionless bounded sampling:
+// the high word of x*n for a uniform 64-bit x is a uniform value in [0, n)
+// once the (probability < n/2^64) biased low-word region is rejected. The
+// expensive modulo runs only on the first rejection.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("fastrand: Intn with non-positive n")
+	}
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		thresh := -un % un // (2^64 - n) mod n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
+}
+
+// Float64 implements RNG branchlessly: the top 53 bits scaled by 2^-53,
+// uniform over the representable grid in [0, 1). (math/rand's Float64 loops
+// on the rare 1.0 outcome of an older construction; this form cannot yield
+// 1.0 at all.)
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) * 0x1p-53
+}
+
+// Mix derives a well-spread child seed from (seed, a, b) with a splitmix64
+// finalizer, so streams for adjacent indices are independent. It is the
+// seed-derivation half of the parallel engine's determinism contract.
+func Mix(seed, a, b int64) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(a+1) + 0xBF58476D1CE4E5B9*uint64(b+2)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}

@@ -1,0 +1,201 @@
+package fastrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestGoldenStreams pins the per-seed output streams. These values are part
+// of the repository's determinism contract: parallel sampling results are
+// reproducible across machines and sessions only while these streams hold,
+// so any change to the generator must be deliberate and must note in the PR
+// that all seed-pinned results shift. The vectors were cross-checked against
+// an independent implementation of splitmix64-seeded xoshiro256++.
+func TestGoldenStreams(t *testing.T) {
+	golden := map[int64][6]uint64{
+		0:      {0x53175d61490b23df, 0x61da6f3dc380d507, 0x5c0fdf91ec9a7bfc, 0x02eebf8c3bbe5e1a, 0x7eca04ebaf4a5eea, 0x0543c37757f08d9a},
+		1:      {0xcfc5d07f6f03c29b, 0xbf424132963fe08d, 0x19a37d5757aaf520, 0xbf08119f05cd56d6, 0x2f47184b86186fa4, 0x97299fcae7202345},
+		-7:     {0x0f36c6e15ccc9fd7, 0x9274d2c9b17cbd4a, 0xbb9969078e1a9521, 0x323c25d8c709b5b0, 0xcf8fa000be429269, 0x15eba321d790727b},
+		424242: {0x106c4a970d4b0b96, 0x997c2bb9314cb4bb, 0x9a319e9e230bd2b8, 0xf728b2ef091a9089, 0x6bd7d816cfd8b7c1, 0x626f22540b397147},
+	}
+	for seed, want := range golden {
+		r := New(seed)
+		for i, w := range want {
+			if got := r.Uint64(); got != w {
+				t.Errorf("seed %d word %d: got %#016x, want %#016x", seed, i, got, w)
+			}
+		}
+	}
+
+	r := New(99)
+	wantInts := []int{1, 7, 4, 0, 6, 5, 9, 7, 6, 8, 3, 4}
+	for i, w := range wantInts {
+		if got := r.Intn(10); got != w {
+			t.Errorf("seed 99 Intn(10) draw %d: got %d, want %d", i, got, w)
+		}
+	}
+
+	r = New(99)
+	wantFloats := []float64{
+		0.17368319692601364, 0.79986772259375249, 0.48873866352897544,
+		0.043068906174611565, 0.66048218634402223, 0.52222740149793145,
+	}
+	for i, w := range wantFloats {
+		if got := r.Float64(); got != w {
+			t.Errorf("seed 99 Float64 draw %d: got %v, want %v", i, got, w)
+		}
+	}
+
+	if got := Mix(5, 1, 2); got != 3479412698991746961 {
+		t.Errorf("Mix(5,1,2) = %d, want 3479412698991746961", got)
+	}
+	if got := Mix(5, 2, 1); got != 8264013404623376368 {
+		t.Errorf("Mix(5,2,1) = %d, want 8264013404623376368 (argument order must matter)", got)
+	}
+}
+
+// TestSeedDeterminism checks Seed resets the stream and distinct seeds
+// diverge.
+func TestSeedDeterminism(t *testing.T) {
+	r := New(1234)
+	first := [8]uint64{}
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Seed(1234)
+	for i, w := range first {
+		if got := r.Uint64(); got != w {
+			t.Fatalf("reseeded stream diverged at word %d: %#x != %#x", i, got, w)
+		}
+	}
+	r.Seed(1235)
+	same := true
+	for _, w := range first {
+		if r.Uint64() != w {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 1234 and 1235 produced identical streams")
+	}
+}
+
+// TestIntnUniformity is a chi-squared sanity check on the Lemire bounded
+// sampler, over a power-of-two and a non-power-of-two modulus (the latter is
+// where a botched rejection threshold would bias low residues). Thresholds
+// are the 0.001 upper quantiles, so a correct generator fails with
+// probability ~1e-3 per case — and the seeds are fixed, so a pass is a pass.
+func TestIntnUniformity(t *testing.T) {
+	cases := []struct {
+		n      int
+		chi999 float64 // chi-squared 0.999 quantile at n-1 dof
+	}{
+		{8, 24.32},
+		{10, 27.88},
+		{7, 22.46},
+		{100, 148.23},
+	}
+	const draws = 200000
+	for _, tc := range cases {
+		r := New(31337 + int64(tc.n))
+		counts := make([]int, tc.n)
+		for i := 0; i < draws; i++ {
+			v := r.Intn(tc.n)
+			if v < 0 || v >= tc.n {
+				t.Fatalf("Intn(%d) = %d out of range", tc.n, v)
+			}
+			counts[v]++
+		}
+		expect := float64(draws) / float64(tc.n)
+		chi := 0.0
+		for _, c := range counts {
+			d := float64(c) - expect
+			chi += d * d / expect
+		}
+		if chi > tc.chi999 {
+			t.Errorf("Intn(%d): chi-squared %.2f exceeds 0.999 quantile %.2f", tc.n, chi, tc.chi999)
+		}
+	}
+}
+
+// TestFloat64Range checks Float64 stays in [0,1) and fills both halves.
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	low, high := 0, 0
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		if f < 0.5 {
+			low++
+		} else {
+			high++
+		}
+	}
+	if low == 0 || high == 0 {
+		t.Errorf("Float64 never hit one half: low=%d high=%d", low, high)
+	}
+}
+
+// TestIntnPanics pins the contract shared with math/rand.
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+// TestRNGInterface checks both generators satisfy the hot-path interface —
+// public APIs keep accepting *rand.Rand while internals run on *Rand.
+func TestRNGInterface(t *testing.T) {
+	var _ RNG = New(1)
+	var _ RNG = rand.New(rand.NewSource(1))
+	// *Rand is also a math/rand Source64, so it can back a *rand.Rand.
+	var _ rand.Source64 = New(1)
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Intn(1000)
+	}
+	_ = sink
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Float64()
+	}
+	_ = sink
+}
+
+func BenchmarkStdRandIntn(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Intn(1000)
+	}
+	_ = sink
+}
+
+func BenchmarkSeed(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Seed(int64(i))
+	}
+}

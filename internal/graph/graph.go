@@ -145,25 +145,50 @@ func (b *Builder) AddEdge(u, v int) {
 func (b *Builder) NumNodes() int { return b.n }
 
 // Build finalizes the graph. The builder must not be reused afterwards.
+//
+// Edge tuples are ordered with a two-pass counting sort (stable by v, then
+// by u), so the whole build is O(V+E) — no comparison sort, no closures —
+// and million-node preferential-attachment graphs construct in seconds.
 func (b *Builder) Build() *Graph {
 	if b.built {
 		panic("graph: Builder.Build called twice")
 	}
 	b.built = true
 
-	// Sort edge tuples (u,v) lexicographically to dedupe.
-	idx := make([]int, len(b.us))
-	for i := range idx {
-		idx[i] = i
+	// LSD counting sort of the edge indices: stable pass on the minor key v,
+	// then a stable pass on the major key u, yields (u,v) lexicographic
+	// order. One shared count/position buffer serves both passes.
+	m := len(b.us)
+	byV := make([]int32, m)
+	idx := make([]int32, m)
+	pos := make([]int32, b.n+1)
+	for _, v := range b.vs {
+		pos[v]++
 	}
-	sort.Slice(idx, func(i, j int) bool {
-		a, c := idx[i], idx[j]
-		if b.us[a] != b.us[c] {
-			return b.us[a] < b.us[c]
-		}
-		return b.vs[a] < b.vs[c]
-	})
+	for v, acc := 0, int32(0); v < b.n; v++ {
+		pos[v], acc = acc, acc+pos[v]
+	}
+	for i := 0; i < m; i++ {
+		v := b.vs[i]
+		byV[pos[v]] = int32(i)
+		pos[v]++
+	}
+	for i := range pos {
+		pos[i] = 0
+	}
+	for _, u := range b.us {
+		pos[u]++
+	}
+	for u, acc := 0, int32(0); u < b.n; u++ {
+		pos[u], acc = acc, acc+pos[u]
+	}
+	for _, i := range byV {
+		u := b.us[i]
+		idx[pos[u]] = i
+		pos[u]++
+	}
 
+	// Dedupe adjacent equal tuples and count degrees.
 	deg := make([]int32, b.n)
 	var prevU, prevV int32 = -1, -1
 	kept := 0
@@ -194,14 +219,30 @@ func (b *Builder) Build() *Graph {
 		adj[cursor[v]] = u
 		cursor[v]++
 	}
-	// Each node's list is already sorted for the "u" side (edges were sorted
-	// by (u,v)), but the "v" side interleaves; sort each list.
+	// Each node's final list is the concatenation of its smaller neighbors
+	// (appended while scanning edges (u,x) with u < x, in increasing u) and
+	// its larger neighbors (edges (x,v), in increasing v) — i.e. two sorted
+	// runs split by the node's own id, which is already globally sorted. An
+	// insertion pass costs O(list) on sorted input and repairs any residue.
 	g := &Graph{offsets: offsets, adj: adj}
 	for v := 0; v < b.n; v++ {
-		nbr := adj[offsets[v]:offsets[v+1]]
-		sort.Slice(nbr, func(i, j int) bool { return nbr[i] < nbr[j] })
+		insertionSort(adj[offsets[v]:offsets[v+1]])
 	}
 	return g
+}
+
+// insertionSort sorts a small or nearly-sorted int32 slice in place; on
+// already-sorted input it is a single comparison per element.
+func insertionSort(xs []int32) {
+	for i := 1; i < len(xs); i++ {
+		x := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > x {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = x
+	}
 }
 
 // FromEdges is a convenience constructor: it builds a graph on n nodes from

@@ -1,0 +1,144 @@
+package osn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// benchNet returns a mid-size preferential-attachment network, the scale at
+// which hub-node neighbor lookups dominate sampling cost.
+func benchNet(tb testing.TB) *Network {
+	tb.Helper()
+	g := gen.BarabasiAlbert(20000, 5, rand.New(rand.NewSource(2)))
+	return NewNetwork(g)
+}
+
+// BenchmarkNeighborsHot measures the warm-cache Neighbors path — the single
+// hottest operation of the whole sampler (one call per walk step, forward
+// and backward). It must report 0 allocs/op: the dense L1 is a bit test plus
+// an array index.
+func BenchmarkNeighborsHot(b *testing.B) {
+	net := benchNet(b)
+	c := NewClient(net, CostUniqueNodes, rand.New(rand.NewSource(3)))
+	const span = 1024
+	for v := 0; v < span; v++ {
+		c.Neighbors(v) // warm
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += len(c.Neighbors(i & (span - 1)))
+	}
+	_ = sink
+}
+
+// BenchmarkNeighborsHotShared is the same warm path for a client attached to
+// a SharedCache whose L1 already memoized the entries — the state estimation
+// workers run in after their first pass over a region.
+func BenchmarkNeighborsHotShared(b *testing.B) {
+	net := benchNet(b)
+	base := NewClient(net, CostUniqueNodes, rand.New(rand.NewSource(3)))
+	c := base.Fork(rand.New(rand.NewSource(4)))
+	const span = 1024
+	for v := 0; v < span; v++ {
+		c.Neighbors(v)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += len(c.Neighbors(i & (span - 1)))
+	}
+	_ = sink
+}
+
+// BenchmarkNeighborsSharedMiss measures an L1 miss that hits the shared
+// cache (lock + bit test + index) — the cost a worker pays the first time it
+// touches a node a sibling already fetched. Each op uses a fresh client so
+// every lookup misses L1.
+func BenchmarkNeighborsSharedMiss(b *testing.B) {
+	net := benchNet(b)
+	base := NewClient(net, CostUniqueNodes, rand.New(rand.NewSource(3)))
+	sc := base.Fork(rand.New(rand.NewSource(4))).Shared()
+	warm := NewClientShared(net, CostUniqueNodes, rand.New(rand.NewSource(5)), sc)
+	const span = 1024
+	for v := 0; v < span; v++ {
+		warm.Neighbors(v)
+	}
+	c := NewClientShared(net, CostUniqueNodes, rand.New(rand.NewSource(6)), sc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		if i&(span-1) == 0 {
+			// Clear the L1 presence bitset (white-box: same package) so
+			// every lookup misses L1 and hits the shared cache, at bounded
+			// memory for any b.N.
+			clear(c.present)
+		}
+		sink += len(c.Neighbors(i & (span - 1)))
+	}
+	_ = sink
+}
+
+// TestNeighborsWarmAllocs is the allocation-regression guard for the warm
+// read path, private and shared: zero allocations, with and without the L1
+// memoization layer in front.
+func TestNeighborsWarmAllocs(t *testing.T) {
+	net := benchNet(t)
+	c := NewClient(net, CostUniqueNodes, rand.New(rand.NewSource(3)))
+	c.Neighbors(7)
+	if avg := testing.AllocsPerRun(1000, func() { c.Neighbors(7) }); avg != 0 {
+		t.Errorf("warm private Neighbors allocates %v/op, want 0", avg)
+	}
+
+	fork := c.Fork(rand.New(rand.NewSource(4)))
+	fork.Neighbors(7) // L1 fill from shared
+	if avg := testing.AllocsPerRun(1000, func() { fork.Neighbors(7) }); avg != 0 {
+		t.Errorf("warm shared Neighbors allocates %v/op, want 0", avg)
+	}
+
+	// L1 misses that hit the shared cache must not allocate either.
+	miss := NewClientShared(net, CostUniqueNodes, rand.New(rand.NewSource(5)), c.Shared())
+	if avg := testing.AllocsPerRun(1000, func() { miss.Neighbors(7) }); avg > 0 {
+		// The very first run fills miss's L1; AllocsPerRun's warm-up run
+		// absorbs it, so steady state must be zero.
+		t.Errorf("shared-hit Neighbors allocates %v/op, want 0", avg)
+	}
+}
+
+// TestKnownNodesBitsets checks the bitset-backed accounting agrees between
+// private and promoted clients, including sortedness.
+func TestKnownNodesBitsets(t *testing.T) {
+	net := benchNet(t)
+	c := NewClient(net, CostUniqueNodes, rand.New(rand.NewSource(3)))
+	for _, v := range []int{99, 3, 70, 3, 65, 64, 63} {
+		c.Neighbors(v)
+	}
+	want := []int{3, 63, 64, 65, 70, 99}
+	got := c.KnownNodes()
+	if len(got) != len(want) {
+		t.Fatalf("KnownNodes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("KnownNodes = %v, want %v", got, want)
+		}
+	}
+	if q := c.Queries(); q != int64(len(want)) {
+		t.Errorf("Queries = %d, want %d", q, len(want))
+	}
+
+	fork := c.Fork(rand.New(rand.NewSource(4)))
+	fork.Neighbors(1000)
+	got = c.KnownNodes() // shared view now
+	if len(got) != len(want)+1 || got[len(got)-1] != 1000 {
+		t.Errorf("promoted KnownNodes = %v, want %v + [1000]", got, want)
+	}
+	if n := c.Shared().UniqueNodes(); n != len(want)+1 {
+		t.Errorf("UniqueNodes = %d, want %d", n, len(want)+1)
+	}
+}

@@ -11,10 +11,11 @@ package osn
 
 import (
 	"fmt"
-	"math/rand"
+	"math/bits"
 	"sync"
 	"time"
 
+	"repro/internal/fastrand"
 	"repro/internal/graph"
 )
 
@@ -25,8 +26,9 @@ type Network struct {
 	g           *graph.Graph
 	attrs       map[string][]float64
 	attrFns     map[string]func(int) float64
-	attrMu      sync.Mutex // guards attrCache (clients may share a Network across goroutines)
+	attrMu      sync.Mutex // guards attrCache and meanCache (clients may share a Network across goroutines)
 	attrCache   map[string]map[int]float64
+	meanCache   map[string]float64
 	restriction Restriction
 	rateLimit   *RateLimit
 }
@@ -67,6 +69,7 @@ func NewNetwork(g *graph.Graph, opts ...Option) *Network {
 		attrs:     make(map[string][]float64),
 		attrFns:   make(map[string]func(int) float64),
 		attrCache: make(map[string]map[int]float64),
+		meanCache: make(map[string]float64),
 	}
 	for _, o := range opts {
 		o(n)
@@ -90,18 +93,31 @@ func (n *Network) NumNodes() int { return n.g.NumNodes() }
 // TrueMean returns the exact population mean of an attribute, or of degree
 // when name is "degree" and the attribute table has no explicit entry.
 // This is the ground truth for the paper's relative-error measure.
+// The sum is memoized per attribute — the eval layer calls TrueMean per
+// figure point, and attribute tables are immutable once attached.
 func (n *Network) TrueMean(name string) (float64, error) {
-	if vals, ok := n.attrs[name]; ok {
-		sum := 0.0
-		for _, v := range vals {
-			sum += v
+	n.attrMu.Lock()
+	mean, hit := n.meanCache[name]
+	n.attrMu.Unlock()
+	if hit {
+		return mean, nil
+	}
+	vals, ok := n.attrs[name]
+	if !ok {
+		if name == AttrDegree {
+			return n.g.AvgDegree(), nil
 		}
-		return sum / float64(len(vals)), nil
+		return 0, fmt.Errorf("osn: unknown attribute %q", name)
 	}
-	if name == AttrDegree {
-		return n.g.AvgDegree(), nil
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
 	}
-	return 0, fmt.Errorf("osn: unknown attribute %q", name)
+	mean = sum / float64(len(vals))
+	n.attrMu.Lock()
+	n.meanCache[name] = mean
+	n.attrMu.Unlock()
+	return mean, nil
 }
 
 // AttrNames lists the attributes attached to the network (table and
@@ -173,17 +189,25 @@ const (
 // from one another (Fork, NewClientShared) may run concurrently: they
 // coordinate through a SharedCache, so distinct workers stop paying for
 // duplicate cache fills while each keeps its own cost meter.
+//
+// Node ids are dense in [0, NumNodes()), so the client's L1 cache and its
+// unique-node accounting are slice-backed: a presence bitset plus a
+// slice-of-slices, making the warm Neighbors path one bit test and one
+// array index with no hashing, branching on the meter, or allocation.
 type Client struct {
 	net  *Network
-	rng  *rand.Rand
+	rng  fastrand.RNG
 	mode CostMode
-	// cache is the client-private L1 neighbor cache. With a shared cache
-	// attached it memoizes shared lookups so the hot read path stays
-	// lock-free after warm-up; the slices alias the shared entries.
-	cache map[int32][]int32
-	// queried tracks per-client unique-node accounting; nil when shared is
-	// set (the shared cache's accounting is then authoritative).
-	queried map[int32]bool
+	// nbrs is the client-private dense L1 neighbor cache; nbrs[v] is valid
+	// iff bit v of present is set. With a shared cache attached it memoizes
+	// shared lookups so the hot read path stays lock-free after warm-up; the
+	// slices alias the shared entries.
+	nbrs    [][]int32
+	present []uint64
+	// queried is the per-client unique-node accounting bitset; nil when
+	// shared is set (the shared cache's accounting is then authoritative).
+	queried  []uint64
+	nQueried int
 	// shared, when non-nil, is the cross-client neighbor cache and global
 	// unique-node accounting this client participates in.
 	shared   *SharedCache
@@ -191,33 +215,46 @@ type Client struct {
 	calls    int64
 	waited   time.Duration
 	inWindow int
+	// cacheable is the precomputed condition under which neighbor lists may
+	// be cached: no restriction, or a deterministic one (type 2/3).
+	cacheable bool
+	// fastPath records that the network has no restriction and no rate
+	// limit: misses cache the ground-truth list as-is (no restriction
+	// branch) and the meter needs no rate-limit branch.
+	fastPath bool
+}
+
+func newClient(net *Network, mode CostMode, rng fastrand.RNG, sc *SharedCache) *Client {
+	n := net.g.NumNodes()
+	c := &Client{
+		net:       net,
+		rng:       rng,
+		mode:      mode,
+		nbrs:      make([][]int32, n),
+		present:   make([]uint64, (n+63)/64),
+		shared:    sc,
+		cacheable: net.restriction == nil || net.restriction.Deterministic(),
+		fastPath:  net.restriction == nil && net.rateLimit == nil,
+	}
+	if sc == nil {
+		c.queried = make([]uint64, (n+63)/64)
+	}
+	return c
 }
 
 // NewClient creates a client with its own cache and cost counters. rng
 // drives restriction sampling (type-1 restrictions return fresh random
 // subsets per call) and must not be nil when restrictions are installed.
-func NewClient(net *Network, mode CostMode, rng *rand.Rand) *Client {
-	return &Client{
-		net:     net,
-		rng:     rng,
-		mode:    mode,
-		cache:   make(map[int32][]int32),
-		queried: make(map[int32]bool),
-	}
+func NewClient(net *Network, mode CostMode, rng fastrand.RNG) *Client {
+	return newClient(net, mode, rng, nil)
 }
 
 // NewClientShared creates a client attached to a shared neighbor cache.
 // All clients attached to the same SharedCache collectively charge each
 // unique node once (CostUniqueNodes) and share cache fills; each client
 // still meters the charges it incurred itself. sc must not be nil.
-func NewClientShared(net *Network, mode CostMode, rng *rand.Rand, sc *SharedCache) *Client {
-	return &Client{
-		net:    net,
-		rng:    rng,
-		mode:   mode,
-		cache:  make(map[int32][]int32),
-		shared: sc,
-	}
+func NewClientShared(net *Network, mode CostMode, rng fastrand.RNG, sc *SharedCache) *Client {
+	return newClient(net, mode, rng, sc)
 }
 
 // Fork returns a sibling client over the same network that shares this
@@ -226,14 +263,22 @@ func NewClientShared(net *Network, mode CostMode, rng *rand.Rand, sc *SharedCach
 // cache and accounting are promoted into a fresh one first (so nothing
 // already paid for is charged again); the promotion must happen before any
 // concurrent use. rng drives the sibling's restriction sampling.
-func (c *Client) Fork(rng *rand.Rand) *Client {
+func (c *Client) Fork(rng fastrand.RNG) *Client {
 	if c.shared == nil {
 		sc := NewSharedCache()
-		for v, nbr := range c.cache {
-			sc.shard(v).nbr[v] = nbr
+		for w, word := range c.present {
+			for word != 0 {
+				v := int32(w<<6 + bits.TrailingZeros64(word))
+				word &= word - 1
+				sc.store(v, c.nbrs[v])
+			}
 		}
-		for v := range c.queried {
-			sc.shard(v).queried[v] = true
+		for w, word := range c.queried {
+			for word != 0 {
+				v := int32(w<<6 + bits.TrailingZeros64(word))
+				word &= word - 1
+				sc.markQueried(v)
+			}
 		}
 		sc.queries.Store(c.queries)
 		sc.calls.Store(c.calls)
@@ -246,35 +291,59 @@ func (c *Client) Fork(rng *rand.Rand) *Client {
 // Shared returns the client's shared cache, or nil for a private client.
 func (c *Client) Shared() *SharedCache { return c.shared }
 
+// SymmetricView reports whether neighbor lists are served unrestricted, in
+// which case the view inherits the graph's edge symmetry: v ∈ N(u) iff
+// u ∈ N(v). Transition designs use this to take degree-only probability
+// fast paths along edges already known to exist.
+func (c *Client) SymmetricView() bool { return c.net.restriction == nil }
+
 // Neighbors issues the local-neighborhood query for v and returns its
 // (possibly restricted) neighbor list. The result must not be modified.
+// The warm path — v already cached — is a bit test plus an array index.
 func (c *Client) Neighbors(v int) []int32 {
+	if c.present[uint(v)>>6]&(1<<(uint(v)&63)) != 0 {
+		return c.nbrs[v]
+	}
+	return c.neighborsMiss(v)
+}
+
+// neighborsMiss is the cold path of Neighbors: consult the shared cache,
+// fall through to the network, apply any restriction, cache, and charge.
+func (c *Client) neighborsMiss(v int) []int32 {
 	vv := int32(v)
-	cacheable := c.net.restriction == nil || c.net.restriction.Deterministic()
-	if cacheable {
-		if nbr, ok := c.cache[vv]; ok {
+	if c.cacheable && c.shared != nil {
+		if nbr, ok := c.shared.lookup(vv); ok {
+			c.setL1(v, nbr) // already paid for globally
 			return nbr
 		}
-		if c.shared != nil {
-			if nbr, ok := c.shared.lookup(vv); ok {
-				c.cache[vv] = nbr // L1 fill; already paid for globally
-				return nbr
-			}
-		}
 	}
-	full := c.net.g.Neighbors(v)
-	nbr := full
-	if c.net.restriction != nil {
-		nbr = c.net.restriction.Apply(full, v, c.rng)
-	}
-	if cacheable {
+	nbr := c.net.g.Neighbors(v)
+	if c.fastPath {
+		// Unrestricted view: the ground-truth list is the answer and is
+		// always cacheable.
 		if c.shared != nil {
 			nbr = c.shared.store(vv, nbr) // concurrent fill: keep the winner
 		}
-		c.cache[vv] = nbr
+		c.setL1(v, nbr)
+		c.charge(vv)
+		return nbr
+	}
+	if c.net.restriction != nil {
+		nbr = c.net.restriction.Apply(nbr, v, c.rng)
+	}
+	if c.cacheable {
+		if c.shared != nil {
+			nbr = c.shared.store(vv, nbr)
+		}
+		c.setL1(v, nbr)
 	}
 	c.charge(vv)
 	return nbr
+}
+
+func (c *Client) setL1(v int, nbr []int32) {
+	c.nbrs[v] = nbr
+	c.present[uint(v)>>6] |= 1 << (uint(v) & 63)
 }
 
 // Degree returns the number of neighbors visible through the interface
@@ -328,6 +397,9 @@ func (c *Client) charge(v int32) {
 			c.shared.queries.Add(1)
 		}
 	}
+	if c.fastPath {
+		return // precomputed: no rate limit installed
+	}
 	if rl := c.net.rateLimit; rl != nil && rl.PerWindow > 0 {
 		c.inWindow++
 		if c.inWindow > rl.PerWindow {
@@ -343,10 +415,12 @@ func (c *Client) markQueried(v int32) bool {
 	if c.shared != nil {
 		return c.shared.markQueried(v)
 	}
-	if c.queried[v] {
+	w, bit := uint32(v)>>6, uint64(1)<<(uint32(v)&63)
+	if c.queried[w]&bit != 0 {
 		return false
 	}
-	c.queried[v] = true
+	c.queried[w] |= bit
+	c.nQueried++
 	return true
 }
 
@@ -356,7 +430,7 @@ func (c *Client) wasQueried(v int32) bool {
 	if c.shared != nil {
 		return c.shared.wasQueried(v)
 	}
-	return c.queried[v]
+	return c.queried[uint32(v)>>6]&(1<<(uint32(v)&63)) != 0
 }
 
 // Queries returns the query cost this client incurred itself under its
@@ -393,15 +467,19 @@ func (c *Client) ResetCost() {
 }
 
 // KnownNodes returns the ids of all nodes whose neighbor lists have been
-// requested so far (the crawler's frontier knowledge). Under a shared cache
-// this is the combined knowledge of all attached clients.
+// requested so far (the crawler's frontier knowledge), sorted ascending.
+// Under a shared cache this is the combined knowledge of all attached
+// clients.
 func (c *Client) KnownNodes() []int {
 	if c.shared != nil {
 		return c.shared.KnownNodes()
 	}
-	out := make([]int, 0, len(c.queried))
-	for v := range c.queried {
-		out = append(out, int(v))
+	out := make([]int, 0, c.nQueried)
+	for w, word := range c.queried {
+		for word != 0 {
+			out = append(out, w<<6+bits.TrailingZeros64(word))
+			word &= word - 1
+		}
 	}
 	return out
 }

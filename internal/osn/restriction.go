@@ -3,6 +3,8 @@ package osn
 import (
 	"fmt"
 	"math/rand"
+
+	"repro/internal/fastrand"
 )
 
 // Restriction models the neighbor-list access restrictions of §6.3.1:
@@ -16,7 +18,7 @@ import (
 // needed. Deterministic reports whether repeated calls for the same node
 // yield identical results (and may therefore be cached by the Client).
 type Restriction interface {
-	Apply(full []int32, node int, rng *rand.Rand) []int32
+	Apply(full []int32, node int, rng fastrand.RNG) []int32
 	Deterministic() bool
 }
 
@@ -25,7 +27,7 @@ type Restriction interface {
 type RandomK struct{ K int }
 
 // Apply implements Restriction.
-func (r RandomK) Apply(full []int32, _ int, rng *rand.Rand) []int32 {
+func (r RandomK) Apply(full []int32, _ int, rng fastrand.RNG) []int32 {
 	if len(full) <= r.K {
 		return full
 	}
@@ -57,7 +59,7 @@ type FixedK struct {
 }
 
 // Apply implements Restriction.
-func (r FixedK) Apply(full []int32, node int, _ *rand.Rand) []int32 {
+func (r FixedK) Apply(full []int32, node int, _ fastrand.RNG) []int32 {
 	if len(full) <= r.K {
 		return full
 	}
@@ -79,7 +81,7 @@ func (r FixedK) Deterministic() bool { return true }
 type TruncateL struct{ L int }
 
 // Apply implements Restriction.
-func (r TruncateL) Apply(full []int32, _ int, _ *rand.Rand) []int32 {
+func (r TruncateL) Apply(full []int32, _ int, _ fastrand.RNG) []int32 {
 	if len(full) <= r.L {
 		return full
 	}

@@ -1,6 +1,7 @@
 package osn
 
 import (
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -10,7 +11,14 @@ import (
 // Neighbor lookups on a social graph concentrate on hub nodes; sharding by
 // node id keeps concurrent fills of distinct hubs from serializing on one
 // lock. 64 shards is far beyond any worker count we run.
-const cacheShards = 64
+//
+// Must stay a power of two: node v lives in shard v&(cacheShards-1) at
+// within-shard index v>>shardShift, so consecutive ids stripe across shards
+// while each shard's backing slices stay dense.
+const (
+	cacheShards = 64
+	shardShift  = 6 // log2(cacheShards)
+)
 
 // SharedCache is a concurrency-safe neighbor cache plus unique-node
 // accounting that several Clients can attach to (one per worker goroutine).
@@ -19,6 +27,11 @@ const cacheShards = 64
 // and, in CostUniqueNodes mode, charged — exactly once across all attached
 // clients, while every client keeps its own cost meter for the charges it
 // incurred itself.
+//
+// Like the Client L1, each shard is slice-backed over the dense node-id
+// space — a slice-of-slices plus presence and queried bitsets, grown on
+// demand — so shared lookups cost a lock, a bit test and an array index
+// rather than a map probe.
 //
 // The cache stores post-restriction neighbor lists, so it is only consulted
 // when the installed Restriction (if any) is deterministic — exactly the
@@ -31,29 +44,57 @@ type SharedCache struct {
 
 type cacheShard struct {
 	mu      sync.RWMutex
-	nbr     map[int32][]int32
-	queried map[int32]bool
+	nbr     [][]int32 // nbr[idx] valid iff bit idx of present is set
+	present []uint64
+	queried []uint64
+	nq      int // popcount of queried, for O(1) UniqueNodes
 }
 
-// NewSharedCache returns an empty shared neighbor cache.
+// NewSharedCache returns an empty shared neighbor cache. Shard storage grows
+// on demand with the node ids actually touched.
 func NewSharedCache() *SharedCache {
-	sc := &SharedCache{}
-	for i := range sc.shards {
-		sc.shards[i].nbr = make(map[int32][]int32)
-		sc.shards[i].queried = make(map[int32]bool)
-	}
-	return sc
+	return &SharedCache{}
 }
 
-func (sc *SharedCache) shard(v int32) *cacheShard {
-	return &sc.shards[uint32(v)%cacheShards]
+func (sc *SharedCache) shard(v int32) (*cacheShard, uint32) {
+	return &sc.shards[uint32(v)&(cacheShards-1)], uint32(v) >> shardShift
+}
+
+// grow extends the shard's dense stores to cover within-shard index idx.
+// Caller must hold the write lock.
+func (sh *cacheShard) grow(idx uint32) {
+	need := int(idx) + 1
+	if need <= len(sh.nbr) {
+		return
+	}
+	size := 2 * len(sh.nbr)
+	if size < need {
+		size = need
+	}
+	grown := make([][]int32, size)
+	copy(grown, sh.nbr)
+	sh.nbr = grown
+	words := (size + 63) / 64
+	if words > len(sh.present) {
+		p := make([]uint64, words)
+		copy(p, sh.present)
+		sh.present = p
+		q := make([]uint64, words)
+		copy(q, sh.queried)
+		sh.queried = q
+	}
 }
 
 // lookup returns the cached neighbor list of v, if present.
 func (sc *SharedCache) lookup(v int32) ([]int32, bool) {
-	sh := sc.shard(v)
+	sh, idx := sc.shard(v)
+	var nbr []int32
+	ok := false
 	sh.mu.RLock()
-	nbr, ok := sh.nbr[v]
+	if w := idx >> 6; int(w) < len(sh.present) && sh.present[w]&(1<<(idx&63)) != 0 {
+		nbr = sh.nbr[idx]
+		ok = true
+	}
 	sh.mu.RUnlock()
 	return nbr, ok
 }
@@ -62,13 +103,16 @@ func (sc *SharedCache) lookup(v int32) ([]int32, bool) {
 // concurrent client stored v first, its list is returned so all clients
 // share one slice.
 func (sc *SharedCache) store(v int32, nbr []int32) []int32 {
-	sh := sc.shard(v)
+	sh, idx := sc.shard(v)
 	sh.mu.Lock()
-	if prev, ok := sh.nbr[v]; ok {
+	if w := idx >> 6; int(w) < len(sh.present) && sh.present[w]&(1<<(idx&63)) != 0 {
+		prev := sh.nbr[idx]
 		sh.mu.Unlock()
 		return prev
 	}
-	sh.nbr[v] = nbr
+	sh.grow(idx)
+	sh.nbr[idx] = nbr
+	sh.present[idx>>6] |= 1 << (idx & 63)
 	sh.mu.Unlock()
 	return nbr
 }
@@ -76,21 +120,26 @@ func (sc *SharedCache) store(v int32, nbr []int32) []int32 {
 // markQueried records that v has been accessed and reports whether this was
 // the first access across all attached clients.
 func (sc *SharedCache) markQueried(v int32) bool {
-	sh := sc.shard(v)
+	sh, idx := sc.shard(v)
+	w, bit := idx>>6, uint64(1)<<(idx&63)
 	sh.mu.Lock()
-	first := !sh.queried[v]
-	if first {
-		sh.queried[v] = true
+	if int(w) < len(sh.queried) && sh.queried[w]&bit != 0 {
+		sh.mu.Unlock()
+		return false
 	}
+	sh.grow(idx)
+	sh.queried[w] |= bit
+	sh.nq++
 	sh.mu.Unlock()
-	return first
+	return true
 }
 
 // wasQueried reports whether any attached client has accessed v.
 func (sc *SharedCache) wasQueried(v int32) bool {
-	sh := sc.shard(v)
+	sh, idx := sc.shard(v)
+	w, bit := idx>>6, uint64(1)<<(idx&63)
 	sh.mu.RLock()
-	q := sh.queried[v]
+	q := int(w) < len(sh.queried) && sh.queried[w]&bit != 0
 	sh.mu.RUnlock()
 	return q
 }
@@ -122,7 +171,7 @@ func (sc *SharedCache) UniqueNodes() int {
 	for i := range sc.shards {
 		sh := &sc.shards[i]
 		sh.mu.RLock()
-		total += len(sh.queried)
+		total += sh.nq
 		sh.mu.RUnlock()
 	}
 	return total
@@ -132,11 +181,15 @@ func (sc *SharedCache) UniqueNodes() int {
 // attached clients (the crawler fleet's combined frontier knowledge).
 func (sc *SharedCache) KnownNodes() []int {
 	var out []int
-	for i := range sc.shards {
-		sh := &sc.shards[i]
+	for s := range sc.shards {
+		sh := &sc.shards[s]
 		sh.mu.RLock()
-		for v := range sh.queried {
-			out = append(out, int(v))
+		for w, word := range sh.queried {
+			for word != 0 {
+				idx := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				out = append(out, idx<<shardShift|s)
+			}
 		}
 		sh.mu.RUnlock()
 	}

@@ -7,8 +7,8 @@ package walk
 
 import (
 	"fmt"
-	"math/rand"
 
+	"repro/internal/fastrand"
 	"repro/internal/osn"
 )
 
@@ -21,7 +21,7 @@ type Design interface {
 
 	// Step samples the next node of the walk from u. It may stay at u
 	// (self-loop) where the design prescribes so.
-	Step(c *osn.Client, u int, rng *rand.Rand) int
+	Step(c *osn.Client, u int, rng fastrand.RNG) int
 
 	// Prob returns the transition probability p(u→v) computed from local
 	// information (degrees of u and v at most). v may equal u, in which
@@ -49,7 +49,7 @@ func (SRW) Name() string { return "SRW" }
 
 // Step implements Design. A node with no visible neighbors (possible under
 // §6.3.1 restrictions) keeps the walk in place.
-func (SRW) Step(c *osn.Client, u int, rng *rand.Rand) int {
+func (SRW) Step(c *osn.Client, u int, rng fastrand.RNG) int {
 	nbr := c.Neighbors(u)
 	if len(nbr) == 0 {
 		return u
@@ -95,7 +95,7 @@ type MHRW struct{}
 func (MHRW) Name() string { return "MHRW" }
 
 // Step implements Design.
-func (MHRW) Step(c *osn.Client, u int, rng *rand.Rand) int {
+func (MHRW) Step(c *osn.Client, u int, rng fastrand.RNG) int {
 	nbr := c.Neighbors(u)
 	if len(nbr) == 0 {
 		return u
@@ -173,9 +173,52 @@ func ByName(name string) (Design, error) {
 	return nil, fmt.Errorf("walk: unknown design %q", name)
 }
 
+// EdgeProbKind classifies designs whose along-edge transition probability
+// p(u→v) is a pure function of the endpoint degrees. The backward estimator
+// computes p(w→node) once per backward step; for SRW and MHRW it already
+// holds both neighbor lists (node's from the candidate scan, w's because the
+// next step needs it), so when the client's view is symmetric
+// (osn.Client.SymmetricView — edge existence is then implied by how the
+// candidate was drawn) the probability follows from the two cached degrees
+// with no extra Neighbors call, membership scan, or interface dispatch.
+type EdgeProbKind uint8
+
+const (
+	// EdgeProbNone means the design has no degree-only closed form; use
+	// Design.Prob.
+	EdgeProbNone EdgeProbKind = iota
+	// EdgeProbSRW: p(u→v) = 1/d(u) along any edge {u,v}.
+	EdgeProbSRW
+	// EdgeProbMHRW: p(u→v) = min(1/d(u), 1/d(v)) along any edge {u,v},
+	// u ≠ v (the self-loop probability still needs the full Prob).
+	EdgeProbMHRW
+)
+
+// EdgeProbKindOf returns the degree-only fast-path classification of d.
+func EdgeProbKindOf(d Design) EdgeProbKind {
+	switch d.(type) {
+	case SRW:
+		return EdgeProbSRW
+	case MHRW:
+		return EdgeProbMHRW
+	}
+	return EdgeProbNone
+}
+
+// Prob returns p(u→v) for an existing edge {u,v}, u ≠ v, given the visible
+// degrees du = |N(u)| > 0 and dv = |N(v)| > 0. Results are bit-identical to
+// the corresponding Design.Prob membership-scan path. Must not be called on
+// EdgeProbNone.
+func (k EdgeProbKind) Prob(du, dv int) float64 {
+	if k == EdgeProbSRW {
+		return 1 / float64(du)
+	}
+	return minf(1/float64(du), 1/float64(dv))
+}
+
 // Path performs a fixed-length walk and returns the visited nodes
 // (path[0] = start, len = steps+1).
-func Path(c *osn.Client, d Design, start, steps int, rng *rand.Rand) []int {
+func Path(c *osn.Client, d Design, start, steps int, rng fastrand.RNG) []int {
 	path := make([]int, steps+1)
 	path[0] = start
 	u := start

@@ -2,7 +2,7 @@ package walk
 
 import (
 	"fmt"
-	"math/rand"
+	"repro/internal/fastrand"
 
 	"repro/internal/osn"
 )
@@ -33,7 +33,7 @@ func NewNBWalker(start int) *NBWalker {
 func (w *NBWalker) Node() int { return w.cur }
 
 // Step advances one non-backtracking step and returns the new node.
-func (w *NBWalker) Step(c *osn.Client, rng *rand.Rand) int {
+func (w *NBWalker) Step(c *osn.Client, rng fastrand.RNG) int {
 	nbr := c.Neighbors(w.cur)
 	switch len(nbr) {
 	case 0:
@@ -54,7 +54,7 @@ func (w *NBWalker) Step(c *osn.Client, rng *rand.Rand) int {
 
 // NBPath performs a fixed-length non-backtracking walk and returns the
 // visited nodes (path[0] = start).
-func NBPath(c *osn.Client, start, steps int, rng *rand.Rand) []int {
+func NBPath(c *osn.Client, start, steps int, rng fastrand.RNG) []int {
 	w := NewNBWalker(start)
 	path := make([]int, steps+1)
 	path[0] = start
@@ -67,7 +67,7 @@ func NBPath(c *osn.Client, start, steps int, rng *rand.Rand) []int {
 // NBManyShortRuns is ManyShortRuns with the non-backtracking walk: one walk
 // per sample, each run until the monitor declares burn-in on the visible-
 // degree trace.
-func NBManyShortRuns(c *osn.Client, start, count int, m Monitor, maxSteps int, rng *rand.Rand) (Result, error) {
+func NBManyShortRuns(c *osn.Client, start, count int, m Monitor, maxSteps int, rng fastrand.RNG) (Result, error) {
 	if count < 0 {
 		return Result{}, fmt.Errorf("walk: negative sample count %d", count)
 	}

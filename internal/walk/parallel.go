@@ -2,7 +2,7 @@ package walk
 
 import (
 	"fmt"
-	"math/rand"
+	"repro/internal/fastrand"
 	"sync"
 
 	"repro/internal/osn"
@@ -41,7 +41,7 @@ func ParallelShortRuns(net *osn.Network, d Design, starts []int, countPer int, m
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed + int64(w)*0x9E3779B9 + 1))
+			rng := fastrand.New(seed + int64(w)*0x9E3779B9 + 1)
 			c := osn.NewClient(net, osn.CostUniqueNodes, rng)
 			clients[w] = c
 			results[w], errs[w] = ManyShortRuns(c, d, starts[w%len(starts)], countPer, m, maxSteps, rng)

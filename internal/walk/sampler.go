@@ -2,7 +2,7 @@ package walk
 
 import (
 	"fmt"
-	"math/rand"
+	"repro/internal/fastrand"
 
 	"repro/internal/osn"
 )
@@ -41,7 +41,7 @@ func (f FixedBurnIn) Converged(trace []float64) bool {
 // typical choice of θ), then take the final node. maxSteps caps each walk
 // against monitors that never fire; a capped walk still yields its final
 // node, mirroring practice under a finite budget.
-func ManyShortRuns(c *osn.Client, d Design, start, count int, m Monitor, maxSteps int, rng *rand.Rand) (Result, error) {
+func ManyShortRuns(c *osn.Client, d Design, start, count int, m Monitor, maxSteps int, rng fastrand.RNG) (Result, error) {
 	if count < 0 {
 		return Result{}, fmt.Errorf("walk: negative sample count %d", count)
 	}
@@ -75,7 +75,7 @@ func ManyShortRuns(c *osn.Client, d Design, start, count int, m Monitor, maxStep
 // in once (burnIn steps) and then collects every thin-th visited node until
 // count samples are gathered. thin = 1 takes every node. The samples are
 // correlated; pair with agg.EffectiveSampleSize to account for it.
-func OneLongRun(c *osn.Client, d Design, start, burnIn, count, thin int, rng *rand.Rand) (Result, error) {
+func OneLongRun(c *osn.Client, d Design, start, burnIn, count, thin int, rng fastrand.RNG) (Result, error) {
 	if count < 0 {
 		return Result{}, fmt.Errorf("walk: negative sample count %d", count)
 	}
