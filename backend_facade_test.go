@@ -1,0 +1,101 @@
+package walknotwait_test
+
+// Determinism contract tests for the pluggable access backends (ISSUE 3):
+// the sample sequence of WALK-ESTIMATE is a function of (seed, workers)
+// only — never of which backend serves the topology — so the in-memory
+// graph and the memory-mapped disk CSR must yield bit-identical runs, and
+// a RemoteSim wrapper must change wall-clock only, never data.
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+
+	wnw "repro"
+)
+
+func backendFixture(t *testing.T) (*wnw.Graph, string) {
+	t.Helper()
+	g := wnw.NewBarabasiAlbert(600, 3, rand.New(rand.NewSource(42)))
+	path := filepath.Join(t.TempDir(), "g.csr")
+	if err := wnw.SaveCSR(path, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	return g, path
+}
+
+func sampleOn(t *testing.T, be wnw.Backend, seed int64, count, workers int) wnw.SampleResult {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net := wnw.NewNetworkOn(be)
+	c := wnw.NewClient(net, wnw.CostUniqueNodes, rng)
+	s, err := wnw.NewWalkEstimate(c, wnw.WEConfig{
+		Design:      wnw.SimpleRandomWalk(),
+		Start:       0,
+		WalkLength:  9,
+		UseCrawl:    true,
+		CrawlHops:   2,
+		UseWeighted: true,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res wnw.SampleResult
+	if workers > 1 {
+		res, err = s.SampleNParallel(count, workers)
+	} else {
+		res, err = s.SampleN(count)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func sequencesEqual(t *testing.T, name string, a, b wnw.SampleResult) {
+	t.Helper()
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatalf("%s: %d vs %d samples", name, len(a.Nodes), len(b.Nodes))
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatalf("%s: sample %d diverges: %d vs %d", name, i, a.Nodes[i], b.Nodes[i])
+		}
+		if a.Steps[i] != b.Steps[i] {
+			t.Fatalf("%s: step count %d diverges: %d vs %d", name, i, a.Steps[i], b.Steps[i])
+		}
+	}
+}
+
+func TestMemAndDiskBackendsSampleIdentically(t *testing.T) {
+	g, path := backendFixture(t)
+	disk, m, err := wnw.OpenDiskBackend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	for _, workers := range []int{1, 4} {
+		mem := sampleOn(t, wnw.NewMemBackend(g), 7, 20, workers)
+		dsk := sampleOn(t, disk, 7, 20, workers)
+		sequencesEqual(t, "mem vs disk", mem, dsk)
+		if len(mem.Nodes) != 20 {
+			t.Fatalf("drew %d samples", len(mem.Nodes))
+		}
+	}
+}
+
+func TestSampleNParallelDeterministicPerSeedWorkers(t *testing.T) {
+	g, _ := backendFixture(t)
+	a := sampleOn(t, wnw.NewMemBackend(g), 11, 16, 4)
+	b := sampleOn(t, wnw.NewMemBackend(g), 11, 16, 4)
+	sequencesEqual(t, "repeat run", a, b)
+}
+
+func TestRemoteSimChangesTimingNotData(t *testing.T) {
+	g, _ := backendFixture(t)
+	plain := sampleOn(t, wnw.NewMemBackend(g), 13, 8, 4)
+	sim := sampleOn(t, wnw.NewRemoteSim(wnw.NewMemBackend(g), 200*time.Microsecond, 100*time.Microsecond, 0), 13, 8, 4)
+	sequencesEqual(t, "mem vs sim", plain, sim)
+}

@@ -3,7 +3,14 @@
 // Usage:
 //
 //	wegen -model ba -n 1000 -m 7 -seed 42 -out graph.txt
+//	wegen -model ba -n 1000000 -m 3 -fast -format csr -out graph.csr
 //	wegen -model yelp -scale 0.25 -seed 1 -out yelp.txt
+//
+// -format csr writes the binary CSR format that wesample -backend disk
+// memory-maps in place; -fast draws from the xoshiro256++ generator so
+// million-node preferential-attachment graphs generate in seconds (a
+// different, equally reproducible stream per seed than the default
+// math/rand source).
 //
 // Models: ba (Barabási–Albert), hk (Holme–Kim), cycle, hypercube (n rounded
 // to 2^k), barbell, tree (balanced binary of height h via -m), complete,
@@ -21,34 +28,40 @@ import (
 
 func main() {
 	var (
-		model = flag.String("model", "ba", "graph model to generate")
-		n     = flag.Int("n", 1000, "number of nodes (or 2^k for hypercube)")
-		m     = flag.Int("m", 3, "edges per new node / degree / tree height, model dependent")
-		p     = flag.Float64("p", 0.1, "edge or triad probability (gnp, hk)")
-		scale = flag.Float64("scale", 0.25, "dataset scale in (0,1] (gplus, yelp, twitter)")
-		seed  = flag.Int64("seed", 1, "random seed")
-		out   = flag.String("out", "", "output path (default stdout)")
+		model  = flag.String("model", "ba", "graph model to generate")
+		n      = flag.Int("n", 1000, "number of nodes (or 2^k for hypercube)")
+		m      = flag.Int("m", 3, "edges per new node / degree / tree height, model dependent")
+		p      = flag.Float64("p", 0.1, "edge or triad probability (gnp, hk)")
+		scale  = flag.Float64("scale", 0.25, "dataset scale in (0,1] (gplus, yelp, twitter)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		out    = flag.String("out", "", "output path (default stdout)")
+		format = flag.String("format", "txt", "output format: txt (edge list) | csr (binary, mmap-able)")
+		fast   = flag.Bool("fast", false, "draw from the fast xoshiro256++ RNG (different stream per seed)")
 	)
 	flag.Parse()
-	if err := run(*model, *n, *m, *p, *scale, *seed, *out); err != nil {
+	if err := run(*model, *n, *m, *p, *scale, *seed, *out, *format, *fast); err != nil {
 		fmt.Fprintln(os.Stderr, "wegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(model string, n, m int, p, scale float64, seed int64, out string) (err error) {
+func run(model string, n, m int, p, scale float64, seed int64, out, format string, fast bool) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("%v", r)
 		}
 	}()
 	rng := rand.New(rand.NewSource(seed))
+	var genRng wnw.RNG = rng
+	if fast {
+		genRng = wnw.NewFastRNG(seed)
+	}
 	var g *wnw.Graph
 	switch model {
 	case "ba":
-		g = wnw.NewBarabasiAlbert(n, m, rng)
+		g = wnw.NewBarabasiAlbert(n, m, genRng)
 	case "hk":
-		g = wnw.NewHolmeKim(n, m, p, rng)
+		g = wnw.NewHolmeKim(n, m, p, genRng)
 	case "cycle":
 		g = wnw.NewCycle(n)
 	case "hypercube":
@@ -92,11 +105,23 @@ func run(model string, n, m int, p, scale float64, seed int64, out string) (err 
 	default:
 		return fmt.Errorf("unknown model %q", model)
 	}
-	if out == "" {
-		return wnw.WriteEdgeList(os.Stdout, g)
-	}
-	if err := wnw.SaveEdgeList(out, g); err != nil {
-		return err
+	switch format {
+	case "txt":
+		if out == "" {
+			return wnw.WriteEdgeList(os.Stdout, g)
+		}
+		if err := wnw.SaveEdgeList(out, g); err != nil {
+			return err
+		}
+	case "csr":
+		if out == "" {
+			return fmt.Errorf("-format csr needs -out (binary output)")
+		}
+		if err := wnw.SaveCSR(out, g, nil); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown format %q (want txt or csr)", format)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s: %d nodes, %d edges\n", out, g.NumNodes(), g.NumEdges())
 	return nil

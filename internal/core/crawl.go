@@ -45,10 +45,16 @@ func BuildCrawlTable(c *osn.Client, d walk.Design, start, h int) (*CrawlTable, e
 	row0[start] = 1
 	ct.rows[0] = row0
 
-	// Crawl the ball: query every node within distance h.
+	// Crawl the ball: query every node within distance h. Each BFS level is
+	// issued as one batched prefetch before it is expanded — the level's
+	// nodes are queried either way, so the query cost is identical, but the
+	// whole frontier costs one locked cache pass and one backend round trip
+	// instead of one per node (on a simulated-latency backend this is the
+	// difference between h round trips and ball-size round trips).
 	dist := map[int32]int{int32(start): 0}
 	frontier := []int32{int32(start)}
 	for depth := 0; depth <= h && len(frontier) > 0; depth++ {
+		c.Prefetch(frontier)
 		var next []int32
 		for _, u := range frontier {
 			for _, w := range c.Neighbors(int(u)) {

@@ -129,6 +129,7 @@ func (s *Sampler) SampleNParallel(n, workers int) (walk.Result, error) {
 	// randomness, then freezes one history snapshot for the whole batch.
 	generate := func(size int) []*pcand {
 		out := make([]*pcand, size)
+		s.frontier = s.frontier[:0]
 		for i := range out {
 			path := walk.Path(s.c, s.cfg.Design, s.cfg.Start, t, s.rng)
 			s.forwardSteps += int64(t)
@@ -228,6 +229,23 @@ func (s *Sampler) SampleNParallel(n, workers int) (walk.Result, error) {
 
 	cur := generate(batchSize())
 	for {
+		// Batched frontier prefetch, at dispatch time: the batch's candidate
+		// endpoints are exactly the nodes every estimation worker queries
+		// first (each backward walk starts at its candidate), so issue the
+		// whole frontier as one batched fill — one shared-cache locked pass
+		// per shard and one backend round trip — before the workers fan out.
+		// Prefetching here rather than in generate keeps the query-cost axis
+		// untouched: only batches that are actually estimated are
+		// prefetched, so every prefetched node is accessed by the workers
+		// regardless (a speculative batch discarded after the run completes
+		// is never estimated, and must not be charged). Prefetch consumes no
+		// RNG and is a no-op under type-1 restrictions, preserving the
+		// determinism contract.
+		s.frontier = s.frontier[:0]
+		for _, cd := range cur {
+			s.frontier = append(s.frontier, int32(cd.v))
+		}
+		s.c.Prefetch(s.frontier)
 		wg.Add(len(cur))
 		for _, cd := range cur {
 			jobs <- cd
@@ -277,6 +295,11 @@ func EstimateAllParallel(e *Estimator, nodes []int, t, baseReps, extraBudget, wo
 	if workers < 1 {
 		return nil, fmt.Errorf("core: need >= 1 worker, got %d", workers)
 	}
+	// One batched fill of the whole candidate set before the workers fan
+	// out: the first query of every node's backward walks is its own
+	// neighbor list, so this is cost-neutral and saves a lock pair (and a
+	// simulated round trip) per candidate.
+	prefetchCandidates(e.Client, nodes)
 	var snap *History
 	if e.Hist != nil {
 		snap = e.Hist.Snapshot()

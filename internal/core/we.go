@@ -97,11 +97,13 @@ type Sampler struct {
 	attempts     int64
 	accepted     int64
 
-	// Parallel-engine state (see parallel.go): the persistent worker pool
-	// and the throttled WS-BW history snapshot handed to estimation workers.
+	// Parallel-engine state (see parallel.go): the persistent worker pool,
+	// the throttled WS-BW history snapshot handed to estimation workers,
+	// and the reusable candidate-frontier buffer for batched prefetch.
 	workerEsts []*Estimator
 	snapHist   *History
 	snapWalks  int
+	frontier   []int32
 }
 
 // NewSampler builds a WALK-ESTIMATE sampler over the given metered client.
@@ -256,6 +258,7 @@ func EstimateAll(e *Estimator, nodes []int, t, baseReps, extraBudget int, rng fa
 	if baseReps < 1 {
 		return nil, fmt.Errorf("core: baseReps must be >= 1, got %d", baseReps)
 	}
+	prefetchCandidates(e.Client, nodes)
 	moments := make([]mathx.Moments, len(nodes))
 	variances := make([]float64, len(nodes))
 	for i, u := range nodes {
@@ -282,4 +285,21 @@ func EstimateAll(e *Estimator, nodes []int, t, baseReps, extraBudget int, rng fa
 		out[u] = moments[i].Mean()
 	}
 	return out, nil
+}
+
+// prefetchCandidates warms the client's caches for an estimation candidate
+// set in one batched pass. Every candidate's neighbor list is the first
+// thing its backward walks query, so the prefetch never touches a node the
+// estimate would not, keeping the query-cost axis unchanged; it only
+// replaces per-node cache fills (and, on a remote backend, per-node round
+// trips) with one batched pass.
+func prefetchCandidates(c *osn.Client, nodes []int) {
+	if len(nodes) < 2 {
+		return
+	}
+	vs := make([]int32, len(nodes))
+	for i, u := range nodes {
+		vs[i] = int32(u)
+	}
+	c.Prefetch(vs)
 }

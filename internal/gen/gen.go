@@ -4,14 +4,19 @@
 // (complete, path, star, grid, Erdős–Rényi, random regular) used by tests and
 // extension experiments.
 //
-// All random generators take an explicit *rand.Rand so experiments are
-// reproducible bit-for-bit under a fixed seed.
+// All random generators take an explicit RNG so experiments are reproducible
+// bit-for-bit under a fixed seed. The preferential-attachment generators
+// accept any fastrand.RNG — pass the classic *rand.Rand for the frozen seed
+// fixtures, or a *fastrand.Rand to generate million-node graphs in seconds
+// (the hot loops are map-free either way: flat repeated-endpoint urns and
+// small slice-membership scans).
 package gen
 
 import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/fastrand"
 	"repro/internal/graph"
 )
 
@@ -167,7 +172,13 @@ func Grid2D(rows, cols int) *graph.Graph {
 // proportionally to degree (via the repeated-endpoints urn, as in NetworkX,
 // which the paper used). The first new node connects to the m seed nodes
 // directly, so |E| = m·(n-m). It panics unless 1 <= m < n.
-func BarabasiAlbert(n, m int, rng *rand.Rand) *graph.Graph {
+//
+// The generator draws the same stream for the same RNG as it always has
+// (frozen-seed fixtures stay valid); duplicate-target detection is a scan
+// of the m-element target slice rather than a per-node map, so the hot loop
+// allocates nothing and million-node graphs generate in seconds with a
+// *fastrand.Rand.
+func BarabasiAlbert(n, m int, rng fastrand.RNG) *graph.Graph {
 	if m < 1 || m >= n {
 		panic(fmt.Sprintf("gen: BarabasiAlbert(n=%d, m=%d): need 1 <= m < n", n, m))
 	}
@@ -175,31 +186,38 @@ func BarabasiAlbert(n, m int, rng *rand.Rand) *graph.Graph {
 	// Urn of edge endpoints: choosing uniformly from it is preferential
 	// attachment. Seeded with the first star so every node has degree >= 1.
 	urn := make([]int32, 0, 2*m*(n-m))
-	targets := make([]int, 0, m)
-	chosen := make(map[int]bool, m)
+	targets := make([]int32, 0, m)
 	for i := 0; i < m; i++ {
-		targets = append(targets, i)
+		targets = append(targets, int32(i))
 	}
 	for v := m; v < n; v++ {
 		for _, t := range targets {
-			b.AddEdge(v, t)
-			urn = append(urn, int32(v), int32(t))
+			b.AddEdge(v, int(t))
+			urn = append(urn, int32(v), t)
 		}
 		// Pick m distinct targets for the next node.
 		targets = targets[:0]
-		for k := range chosen {
-			delete(chosen, k)
-		}
 		for len(targets) < m {
-			t := int(urn[rng.Intn(len(urn))])
-			if t == v+1 || chosen[t] {
+			t := urn[rng.Intn(len(urn))]
+			if int(t) == v+1 || containsInt32(targets, t) {
 				continue
 			}
-			chosen[t] = true
 			targets = append(targets, t)
 		}
 	}
 	return b.Build()
+}
+
+// containsInt32 reports membership in a small slice — the m-element target
+// sets of the preferential-attachment generators, where a linear scan beats
+// any map.
+func containsInt32(xs []int32, x int32) bool {
+	for _, e := range xs {
+		if e == x {
+			return true
+		}
+	}
+	return false
 }
 
 // HolmeKim returns a scale-free graph with tunable clustering (Holme–Kim
@@ -208,7 +226,11 @@ func BarabasiAlbert(n, m int, rng *rand.Rand) *graph.Graph {
 // step to a random neighbor of the previous target, closing a triangle.
 // pt = 0 degenerates to plain BA. Used for the Yelp/Twitter surrogates whose
 // real counterparts have high local clustering.
-func HolmeKim(n, m int, pt float64, rng *rand.Rand) *graph.Graph {
+//
+// Like BarabasiAlbert, the draw stream is unchanged for a given RNG; the
+// per-node chosen-target map became a slice scan, so the generator performs
+// no per-node allocation beyond the running adjacency itself.
+func HolmeKim(n, m int, pt float64, rng fastrand.RNG) *graph.Graph {
 	if m < 1 || m >= n {
 		panic(fmt.Sprintf("gen: HolmeKim(n=%d, m=%d): need 1 <= m < n", n, m))
 	}
@@ -224,29 +246,28 @@ func HolmeKim(n, m int, pt float64, rng *rand.Rand) *graph.Graph {
 		adj[v] = append(adj[v], int32(t))
 		adj[t] = append(adj[t], int32(v))
 	}
-	targets := make([]int, 0, m)
+	targets := make([]int32, 0, m)
 	for i := 0; i < m; i++ {
-		targets = append(targets, i)
+		targets = append(targets, int32(i))
 	}
 	for v := m; v < n; v++ {
 		for _, t := range targets {
-			link(v, t)
+			link(v, int(t))
 		}
 		// Choose the next node's targets.
 		targets = targets[:0]
-		chosen := make(map[int]bool, m)
-		next := v + 1
-		prev := -1
+		next := int32(v + 1)
+		prev := int32(-1)
 		for len(targets) < m {
-			var t int
+			var t int32
 			if prev >= 0 && rng.Float64() < pt {
 				// Triad formation: a random neighbor of the previous
 				// target. Bounded retries keep the generator deterministic
 				// and fast; on failure fall back to preferential attachment.
 				t = -1
 				for try := 0; try < 4; try++ {
-					cand := int(adj[prev][rng.Intn(len(adj[prev]))])
-					if cand != next && !chosen[cand] {
+					cand := adj[prev][rng.Intn(len(adj[prev]))]
+					if cand != next && !containsInt32(targets, cand) {
 						t = cand
 						break
 					}
@@ -256,12 +277,11 @@ func HolmeKim(n, m int, pt float64, rng *rand.Rand) *graph.Graph {
 					continue
 				}
 			} else {
-				t = int(urn[rng.Intn(len(urn))])
-				if t == next || chosen[t] {
+				t = urn[rng.Intn(len(urn))]
+				if t == next || containsInt32(targets, t) {
 					continue
 				}
 			}
-			chosen[t] = true
 			targets = append(targets, t)
 			prev = t
 		}

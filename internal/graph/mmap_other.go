@@ -1,0 +1,14 @@
+//go:build !unix
+
+package graph
+
+import "os"
+
+// mapFile reads the named file into the heap on platforms without a mmap
+// fast path; OpenCSR then behaves exactly like LoadCSR.
+func mapFile(path string) ([]byte, bool, error) {
+	data, err := os.ReadFile(path)
+	return data, false, err
+}
+
+func unmapFile([]byte) error { return nil }

@@ -1,0 +1,177 @@
+package osn
+
+import "slices"
+
+// This file is the batched access path: Client.NeighborsBatch resolves a
+// whole frontier of nodes in one pass per layer — one L1 scan, one shared-
+// cache lock acquisition per shard (instead of a lock pair per miss), one
+// backend NeighborsBatch call (one simulated round trip instead of k), and
+// one batched charge. Results, caching, and metering are exactly what the
+// per-node path would produce for the same frontier; only lock traffic and
+// backend round trips are amortized.
+
+// NeighborsBatch fills out[i] with the (possibly restricted) neighbor list
+// of vs[i]; len(out) must equal len(vs). Cache misses are resolved in one
+// batched pass as described above. The returned lists must not be modified.
+//
+// Under a non-deterministic (type-1) restriction nothing may be cached and
+// every call must re-randomize, so the batch degenerates to per-node calls.
+func (c *Client) NeighborsBatch(vs []int32, out [][]int32) {
+	if len(vs) != len(out) {
+		panic("osn: NeighborsBatch length mismatch")
+	}
+	if !c.cacheable {
+		for i, v := range vs {
+			out[i] = c.Neighbors(int(v))
+		}
+		return
+	}
+
+	// Pass 1: serve L1 hits; collect the positions still unresolved.
+	pos := c.batchPos[:0]
+	for i, v := range vs {
+		if c.present[uint(v)>>6]&(1<<(uint(v)&63)) != 0 {
+			out[i] = c.nbrs[v]
+		} else {
+			pos = append(pos, int32(i))
+		}
+	}
+	c.batchPos = pos
+	if len(pos) == 0 {
+		return
+	}
+
+	// Deduplicate the missing ids (duplicate occurrences must behave like
+	// the per-node path: first resolves, the rest are warm hits).
+	ids := c.batchIDs[:0]
+	for _, i := range pos {
+		ids = append(ids, vs[i])
+	}
+	slices.Sort(ids)
+	ids = slices.Compact(ids)
+	c.batchIDs = ids
+
+	if cap(c.batchLists) < len(ids) {
+		c.batchLists = make([][]int32, len(ids), 2*len(ids))
+	}
+	lists := c.batchLists[:len(ids)]
+	if cap(c.batchFirst) < len(ids) {
+		c.batchFirst = make([]bool, len(ids), 2*len(ids))
+	}
+	found := c.batchFirst[:len(ids)]
+
+	// Pass 2: shared-cache batched lookup — one read lock per shard. Hits
+	// are already paid for globally; install them in the L1 uncharged.
+	fetch := ids
+	if c.shared != nil {
+		k := 0
+		c.shared.lookupBatch(ids, lists, found, &c.groups)
+		for i, v := range ids {
+			if found[i] {
+				c.setL1(int(v), lists[i])
+			} else {
+				ids[k] = v
+				k++
+			}
+		}
+		fetch = ids[:k]
+	}
+
+	// Pass 3: one backend round trip for the remaining misses, restriction
+	// applied per node (deterministic restrictions only — checked above;
+	// they consume no RNG, so batch order cannot perturb any stream).
+	if len(fetch) > 0 {
+		fetched := lists[:len(fetch)]
+		c.net.be.NeighborsBatch(fetch, fetched)
+		if !c.fastPath && c.net.restriction != nil {
+			for i, v := range fetch {
+				fetched[i] = c.net.restriction.Apply(fetched[i], int(v), c.rng)
+			}
+		}
+		// Pass 4: publish to the shared cache and test-and-set the
+		// first-access flags in one fused write-lock pass per shard
+		// (concurrent fillers' winning entries are kept), install in L1,
+		// and apply one batched charge.
+		first := found[:len(fetch)]
+		if c.shared != nil {
+			c.shared.fillBatch(fetch, fetched, first, &c.groups)
+		} else {
+			for i, v := range fetch {
+				first[i] = c.markQueried(v)
+			}
+		}
+		for i, v := range fetch {
+			c.setL1(int(v), fetched[i])
+		}
+		c.chargeBatch(len(fetch), first)
+	}
+
+	// Final pass: every miss position is now warm in the L1.
+	for _, i := range pos {
+		out[i] = c.nbrs[vs[i]]
+	}
+}
+
+// Prefetch warms the client's cache hierarchy for vs in one batched pass;
+// under a shared cache the fill (and its unique-node charges) is visible to
+// all attached clients, so a fleet's frontier costs one locked pass per
+// shard and one backend round trip instead of a lock pair and a round trip
+// per node. Nodes already cached cost nothing. Under a non-deterministic
+// (type-1) restriction nothing may be cached, so Prefetch is a no-op —
+// calling it never changes any restriction RNG stream or cost meter.
+func (c *Client) Prefetch(vs []int32) {
+	if len(vs) == 0 || !c.cacheable {
+		return
+	}
+	// NeighborsBatch needs an out buffer; batchLists is scratch inside it,
+	// so Prefetch keeps a dedicated spill of its own.
+	out := prefetchOut(&c.prefetchBuf, len(vs))
+	c.NeighborsBatch(vs, out)
+}
+
+// chargeBatch is the batched form of charge for k nodes fetched from the
+// backend, whose first-access flags (resolved by the fused fillBatch
+// test-and-set, or locally for a private client) are in first[:k]: the
+// fleet meter is charged exactly once per unique node under
+// CostUniqueNodes — even when sibling clients race the same frontier.
+func (c *Client) chargeBatch(k int, first []bool) {
+	kk := int64(k)
+	c.calls += kk
+	if c.shared != nil {
+		c.shared.calls.Add(kk)
+	}
+	var charged int64
+	if c.mode == CostPerCall {
+		charged = kk
+	} else {
+		for _, f := range first[:k] {
+			if f {
+				charged++
+			}
+		}
+	}
+	c.queries += charged
+	if c.shared != nil {
+		c.shared.queries.Add(charged)
+	}
+	if c.fastPath {
+		return // precomputed: no rate limit installed
+	}
+	if rl := c.net.rateLimit; rl != nil && rl.PerWindow > 0 {
+		for i := 0; i < k; i++ {
+			c.inWindow++
+			if c.inWindow > rl.PerWindow {
+				c.waited += rl.Window
+				c.inWindow = 1
+			}
+		}
+	}
+}
+
+// prefetchOut returns a length-n slice backed by *buf, growing it on demand.
+func prefetchOut(buf *[][]int32, n int) [][]int32 {
+	if cap(*buf) < n {
+		*buf = make([][]int32, n, 2*n)
+	}
+	return (*buf)[:n]
+}

@@ -20,10 +20,17 @@ import (
 )
 
 // Network is the server side of the simulated social network: the complete
-// graph and node attributes, which samplers must not touch directly.
-// Construct with NewNetwork; access through a Client.
+// topology (served through a pluggable Backend — in-memory, disk-backed
+// CSR, or simulated remote API) and node attributes, which samplers must
+// not touch directly. Construct with NewNetwork or NewNetworkOn; access
+// through a Client.
 type Network struct {
-	g           *graph.Graph
+	be Backend
+	// truth is the innermost backend (RemoteSim wrappers unwrapped) used by
+	// evaluation-only reads like TrueMean, which must pay neither simulated
+	// latency nor round-trip accounting.
+	truth       Backend
+	g           *graph.Graph // ground-truth view for evaluation; nil when the backend has none
 	attrs       map[string][]float64
 	attrFns     map[string]func(int) float64
 	attrMu      sync.Mutex // guards attrCache and meanCache (clients may share a Network across goroutines)
@@ -62,21 +69,41 @@ func WithRateLimit(perWindow int, window time.Duration) Option {
 	return func(n *Network) { n.rateLimit = &RateLimit{PerWindow: perWindow, Window: window} }
 }
 
-// NewNetwork wraps a graph as a simulated online social network.
+// NewNetwork wraps an in-memory graph as a simulated online social network.
+// The behavior is bit-for-bit that of the pre-backend implementation: it is
+// exactly NewNetworkOn(NewMemBackend(g), opts...).
 func NewNetwork(g *graph.Graph, opts ...Option) *Network {
+	return NewNetworkOn(NewMemBackend(g), opts...)
+}
+
+// NewNetworkOn wraps any access backend — in-memory, memory-mapped CSR, or
+// simulated remote API — as a simulated online social network.
+func NewNetworkOn(be Backend, opts ...Option) *Network {
+	truth := be
+	for {
+		u, ok := truth.(interface{ Inner() Backend })
+		if !ok {
+			break
+		}
+		truth = u.Inner()
+	}
 	n := &Network{
-		g:         g,
+		be:        be,
+		truth:     truth,
 		attrs:     make(map[string][]float64),
 		attrFns:   make(map[string]func(int) float64),
 		attrCache: make(map[string]map[int]float64),
 		meanCache: make(map[string]float64),
 	}
+	if gv, ok := be.(GraphViewer); ok {
+		n.g = gv.GraphView()
+	}
 	for _, o := range opts {
 		o(n)
 	}
 	for name, vals := range n.attrs {
-		if len(vals) != g.NumNodes() {
-			panic(fmt.Sprintf("osn: attribute %q has %d values for %d nodes", name, len(vals), g.NumNodes()))
+		if len(vals) != be.NumNodes() {
+			panic(fmt.Sprintf("osn: attribute %q has %d values for %d nodes", name, len(vals), be.NumNodes()))
 		}
 	}
 	return n
@@ -84,11 +111,17 @@ func NewNetwork(g *graph.Graph, opts ...Option) *Network {
 
 // Graph exposes the underlying ground-truth topology for *evaluation only*
 // (computing exact aggregates to measure estimator error). Samplers must use
-// a Client.
+// a Client. It is nil for backends without an addressable topology view
+// (e.g. a RemoteSim over an opaque service).
 func (n *Network) Graph() *graph.Graph { return n.g }
 
+// Backend exposes the access backend the network serves topology from, for
+// construction-time plumbing (wrapping, diagnostics). Samplers must use a
+// Client.
+func (n *Network) Backend() Backend { return n.be }
+
 // NumNodes returns the hidden |V| (evaluation only).
-func (n *Network) NumNodes() int { return n.g.NumNodes() }
+func (n *Network) NumNodes() int { return n.be.NumNodes() }
 
 // TrueMean returns the exact population mean of an attribute, or of degree
 // when name is "degree" and the attribute table has no explicit entry.
@@ -104,8 +137,29 @@ func (n *Network) TrueMean(name string) (float64, error) {
 	}
 	vals, ok := n.attrs[name]
 	if !ok {
+		// Evaluation-only reads go through the innermost backend: a
+		// RemoteSim must charge samplers for access, never the ground-truth
+		// bookkeeping (its latency and round-trip meters would otherwise be
+		// corrupted by every figure point).
+		if _, isBackend := probeAttr(n.truth, name); isBackend {
+			// Backend-stored table (e.g. embedded in a CSR file): sum once
+			// and memoize like any other attribute.
+			sum := 0.0
+			for v := 0; v < n.truth.NumNodes(); v++ {
+				val, _ := n.truth.Attr(name, v)
+				sum += val
+			}
+			mean = sum / float64(n.truth.NumNodes())
+			n.attrMu.Lock()
+			n.meanCache[name] = mean
+			n.attrMu.Unlock()
+			return mean, nil
+		}
 		if name == AttrDegree {
-			return n.g.AvgDegree(), nil
+			if n.truth.NumNodes() == 0 {
+				return 0, nil // match graph.AvgDegree's empty-graph contract
+			}
+			return 2 * float64(n.truth.NumEdges()) / float64(n.truth.NumNodes()), nil
 		}
 		return 0, fmt.Errorf("osn: unknown attribute %q", name)
 	}
@@ -120,8 +174,17 @@ func (n *Network) TrueMean(name string) (float64, error) {
 	return mean, nil
 }
 
-// AttrNames lists the attributes attached to the network (table and
-// function attributes alike), in unspecified order.
+// probeAttr reports whether the backend stores a table under name (safe on
+// empty graphs, where no per-node probe is possible).
+func probeAttr(be Backend, name string) (float64, bool) {
+	if be.NumNodes() == 0 {
+		return 0, false
+	}
+	return be.Attr(name, 0)
+}
+
+// AttrNames lists the attributes attached to the network (table, function,
+// and backend-stored attributes alike), in unspecified order.
 func (n *Network) AttrNames() []string {
 	names := make([]string, 0, len(n.attrs)+len(n.attrFns))
 	for name := range n.attrs {
@@ -130,18 +193,28 @@ func (n *Network) AttrNames() []string {
 	for name := range n.attrFns {
 		names = append(names, name)
 	}
+	for _, name := range n.be.AttrNames() {
+		if _, dup := n.attrs[name]; dup {
+			continue
+		}
+		if _, dup := n.attrFns[name]; dup {
+			continue
+		}
+		names = append(names, name)
+	}
 	return names
 }
 
-// attrValue resolves an attribute for one node, consulting the table first,
-// then the memoized function attributes. Safe for concurrent use.
+// attrValue resolves an attribute for one node, consulting the attached
+// table first, then the memoized function attributes, then the backend's
+// stored tables. Safe for concurrent use.
 func (n *Network) attrValue(name string, v int) (float64, bool) {
 	if vals, ok := n.attrs[name]; ok {
 		return vals[v], true
 	}
 	fn, ok := n.attrFns[name]
 	if !ok {
-		return 0, false
+		return n.be.Attr(name, v)
 	}
 	n.attrMu.Lock()
 	cache := n.attrCache[name]
@@ -222,10 +295,18 @@ type Client struct {
 	// limit: misses cache the ground-truth list as-is (no restriction
 	// branch) and the meter needs no rate-limit branch.
 	fastPath bool
+	// Reusable scratch buffers for the batched access path (NeighborsBatch,
+	// Prefetch), so steady-state batches allocate nothing on the client.
+	batchPos    []int32     // positions in vs still unresolved after the L1 pass
+	batchIDs    []int32     // deduplicated miss ids
+	batchLists  [][]int32   // lists aligned with batchIDs
+	batchFirst  []bool      // found/first-access flags aligned with batchIDs
+	groups      shardGroups // shard bucketing scratch for the shared-cache batch ops
+	prefetchBuf [][]int32   // Prefetch's throwaway out buffer
 }
 
 func newClient(net *Network, mode CostMode, rng fastrand.RNG, sc *SharedCache) *Client {
-	n := net.g.NumNodes()
+	n := net.be.NumNodes()
 	c := &Client{
 		net:       net,
 		rng:       rng,
@@ -291,6 +372,9 @@ func (c *Client) Fork(rng fastrand.RNG) *Client {
 // Shared returns the client's shared cache, or nil for a private client.
 func (c *Client) Shared() *SharedCache { return c.shared }
 
+// Mode returns the client's cost-charging mode.
+func (c *Client) Mode() CostMode { return c.mode }
+
 // SymmetricView reports whether neighbor lists are served unrestricted, in
 // which case the view inherits the graph's edge symmetry: v ∈ N(u) iff
 // u ∈ N(v). Transition designs use this to take degree-only probability
@@ -317,7 +401,7 @@ func (c *Client) neighborsMiss(v int) []int32 {
 			return nbr
 		}
 	}
-	nbr := c.net.g.Neighbors(v)
+	nbr := c.net.be.Neighbors(v)
 	if c.fastPath {
 		// Unrestricted view: the ground-truth list is the answer and is
 		// always cacheable.

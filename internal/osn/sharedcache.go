@@ -117,6 +117,107 @@ func (sc *SharedCache) store(v int32, nbr []int32) []int32 {
 	return nbr
 }
 
+// shardGroups is reusable scratch that buckets a batch's positions by shard
+// with a two-pass counting sort, so each batch operation takes every
+// touched shard's lock exactly once and allocates nothing in steady state.
+// Each Client owns one (clients are single-goroutine).
+type shardGroups struct {
+	start [cacheShards + 1]int32
+	order []int32 // positions into ids, grouped by shard
+}
+
+func (sg *shardGroups) build(ids []int32) {
+	var count [cacheShards]int32
+	for _, v := range ids {
+		count[uint32(v)&(cacheShards-1)]++
+	}
+	acc := int32(0)
+	for s := 0; s < cacheShards; s++ {
+		sg.start[s] = acc
+		acc += count[s]
+	}
+	sg.start[cacheShards] = acc
+	if cap(sg.order) < len(ids) {
+		sg.order = make([]int32, len(ids), 2*len(ids))
+	}
+	sg.order = sg.order[:len(ids)]
+	pos := sg.start
+	for i, v := range ids {
+		s := uint32(v) & (cacheShards - 1)
+		sg.order[pos[s]] = int32(i)
+		pos[s]++
+	}
+}
+
+func (sg *shardGroups) group(s int) []int32 { return sg.order[sg.start[s]:sg.start[s+1]] }
+
+// lookupBatch fills out[i] and sets found[i] for every cached ids[i],
+// taking each touched shard's read lock once for the whole batch instead of
+// once per node. Slots of missing ids are left with found[i] = false.
+func (sc *SharedCache) lookupBatch(ids []int32, out [][]int32, found []bool, sg *shardGroups) {
+	sg.build(ids)
+	for s := 0; s < cacheShards; s++ {
+		g := sg.group(s)
+		if len(g) == 0 {
+			continue
+		}
+		sh := &sc.shards[s]
+		sh.mu.RLock()
+		for _, i := range g {
+			idx := uint32(ids[i]) >> shardShift
+			if w := idx >> 6; int(w) < len(sh.present) && sh.present[w]&(1<<(idx&63)) != 0 {
+				out[i] = sh.nbr[idx]
+				found[i] = true
+			} else {
+				out[i] = nil
+				found[i] = false
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// fillBatch publishes a batch of backend-fetched neighbor lists and records
+// their accesses in one write-lock pass per touched shard: store (entries a
+// concurrent client stored first win — lists[i] is replaced by the existing
+// entry so all clients share one slice per node, the same contract as
+// store) fused with the first-access test-and-set (first[i] set iff this
+// was the first access fleet-wide). Because both updates for all ids in a
+// shard happen under one lock acquisition, two clients racing the same
+// frontier partition the first flags exactly — each node is "first" for
+// precisely one of them, so the fleet meter is charged once per unique
+// node.
+func (sc *SharedCache) fillBatch(ids []int32, lists [][]int32, first []bool, sg *shardGroups) {
+	sg.build(ids)
+	for s := 0; s < cacheShards; s++ {
+		g := sg.group(s)
+		if len(g) == 0 {
+			continue
+		}
+		sh := &sc.shards[s]
+		sh.mu.Lock()
+		for _, i := range g {
+			idx := uint32(ids[i]) >> shardShift
+			sh.grow(idx)
+			w, bit := idx>>6, uint64(1)<<(idx&63)
+			if sh.present[w]&bit != 0 {
+				lists[i] = sh.nbr[idx]
+			} else {
+				sh.nbr[idx] = lists[i]
+				sh.present[w] |= bit
+			}
+			if sh.queried[w]&bit != 0 {
+				first[i] = false
+			} else {
+				sh.queried[w] |= bit
+				sh.nq++
+				first[i] = true
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // markQueried records that v has been accessed and reports whether this was
 // the first access across all attached clients.
 func (sc *SharedCache) markQueried(v int32) bool {

@@ -9,25 +9,36 @@ import (
 	"fmt"
 
 	"repro/internal/fastrand"
-	"repro/internal/osn"
 )
+
+// View is the neighbor-access surface a transition design needs: on the
+// sampling paths it is the metered *osn.Client (so query accounting stays
+// faithful), while tests and offline tooling may drive a design directly
+// over a raw osn.Backend or any other adjacency source.
+type View interface {
+	// Neighbors returns the visible neighbor list of v (not to be modified).
+	Neighbors(v int) []int32
+	// Degree returns |Neighbors(v)|.
+	Degree(v int) int
+}
 
 // Design is an MCMC transition design driven purely through the restricted
 // local-neighborhood interface. Implementations must only learn about the
-// graph via the provided *osn.Client so query accounting stays faithful.
+// graph via the provided View so query accounting stays faithful when the
+// view is a metered client.
 type Design interface {
 	// Name identifies the design in logs and experiment output.
 	Name() string
 
 	// Step samples the next node of the walk from u. It may stay at u
 	// (self-loop) where the design prescribes so.
-	Step(c *osn.Client, u int, rng fastrand.RNG) int
+	Step(c View, u int, rng fastrand.RNG) int
 
 	// Prob returns the transition probability p(u→v) computed from local
 	// information (degrees of u and v at most). v may equal u, in which
 	// case the self-loop probability is returned — note that for MHRW this
 	// requires querying all neighbors of u.
-	Prob(c *osn.Client, u, v int) float64
+	Prob(c View, u, v int) float64
 
 	// SelfLoops reports whether the design can remain in place, i.e.
 	// whether u itself must be considered a predecessor candidate by the
@@ -37,7 +48,7 @@ type Design interface {
 	// TargetWeight returns the unnormalized stationary density q(v) the
 	// design converges to: d(v) for SRW, 1 for MHRW. Rejection sampling
 	// only needs ratios, so no normalization constant is required.
-	TargetWeight(c *osn.Client, v int) float64
+	TargetWeight(c View, v int) float64
 }
 
 // SRW is the Simple Random Walk of Definition 1: from u, move to a uniformly
@@ -49,7 +60,7 @@ func (SRW) Name() string { return "SRW" }
 
 // Step implements Design. A node with no visible neighbors (possible under
 // §6.3.1 restrictions) keeps the walk in place.
-func (SRW) Step(c *osn.Client, u int, rng fastrand.RNG) int {
+func (SRW) Step(c View, u int, rng fastrand.RNG) int {
 	nbr := c.Neighbors(u)
 	if len(nbr) == 0 {
 		return u
@@ -58,7 +69,7 @@ func (SRW) Step(c *osn.Client, u int, rng fastrand.RNG) int {
 }
 
 // Prob implements Design.
-func (SRW) Prob(c *osn.Client, u, v int) float64 {
+func (SRW) Prob(c View, u, v int) float64 {
 	nbr := c.Neighbors(u)
 	if len(nbr) == 0 {
 		if u == v {
@@ -82,7 +93,7 @@ func (SRW) SelfLoops() bool { return false }
 
 // TargetWeight implements Design: SRW's stationary distribution is
 // proportional to degree.
-func (SRW) TargetWeight(c *osn.Client, v int) float64 {
+func (SRW) TargetWeight(c View, v int) float64 {
 	return float64(c.Degree(v))
 }
 
@@ -95,7 +106,7 @@ type MHRW struct{}
 func (MHRW) Name() string { return "MHRW" }
 
 // Step implements Design.
-func (MHRW) Step(c *osn.Client, u int, rng fastrand.RNG) int {
+func (MHRW) Step(c View, u int, rng fastrand.RNG) int {
 	nbr := c.Neighbors(u)
 	if len(nbr) == 0 {
 		return u
@@ -114,7 +125,7 @@ func (MHRW) Step(c *osn.Client, u int, rng fastrand.RNG) int {
 // Prob implements Design. The self-loop probability p(u→u) requires the
 // degree of every neighbor of u; the client charges those queries, exactly
 // as a real crawler would pay them.
-func (MHRW) Prob(c *osn.Client, u, v int) float64 {
+func (MHRW) Prob(c View, u, v int) float64 {
 	nbr := c.Neighbors(u)
 	if len(nbr) == 0 {
 		if u == v {
@@ -153,7 +164,7 @@ func (MHRW) Prob(c *osn.Client, u, v int) float64 {
 func (MHRW) SelfLoops() bool { return true }
 
 // TargetWeight implements Design: MHRW targets the uniform distribution.
-func (MHRW) TargetWeight(*osn.Client, int) float64 { return 1 }
+func (MHRW) TargetWeight(View, int) float64 { return 1 }
 
 func minf(a, b float64) float64 {
 	if a < b {
@@ -218,7 +229,7 @@ func (k EdgeProbKind) Prob(du, dv int) float64 {
 
 // Path performs a fixed-length walk and returns the visited nodes
 // (path[0] = start, len = steps+1).
-func Path(c *osn.Client, d Design, start, steps int, rng fastrand.RNG) []int {
+func Path(c View, d Design, start, steps int, rng fastrand.RNG) []int {
 	path := make([]int, steps+1)
 	path[0] = start
 	u := start

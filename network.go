@@ -1,7 +1,6 @@
 package walknotwait
 
 import (
-	"math/rand"
 	"time"
 
 	"repro/internal/osn"
@@ -37,8 +36,59 @@ const AttrDegree = osn.AttrDegree
 // NewNetwork wraps a graph as a simulated online social network.
 func NewNetwork(g *Graph, opts ...NetworkOption) *Network { return osn.NewNetwork(g, opts...) }
 
-// NewClient creates a metered client over a network.
-func NewClient(net *Network, mode CostMode, rng *rand.Rand) *Client {
+// Backend is the pluggable ground-truth access layer a Network serves
+// topology from: in-memory (NewMemBackend), memory-mapped disk CSR
+// (OpenDiskBackend), or a simulated remote API with per-round-trip latency
+// (NewRemoteSim). All implementations answer batched neighbor requests, the
+// substrate of the client's frontier prefetch.
+type Backend = osn.Backend
+
+// MemBackend serves a heap-resident CSR graph (the classic behavior).
+type MemBackend = osn.MemBackend
+
+// DiskBackend serves a memory-mapped binary CSR file: million-node graphs
+// open in O(1) and sample without holding their edges on the heap.
+type DiskBackend = osn.DiskBackend
+
+// RemoteSim wraps a backend with simulated per-round-trip latency and
+// jitter; batch requests are answered over concurrent simulated
+// connections, so batched prefetch turns queries saved into wall-clock
+// saved.
+type RemoteSim = osn.RemoteSim
+
+// NewMemBackend wraps an in-memory graph as a Backend.
+func NewMemBackend(g *Graph) MemBackend { return osn.NewMemBackend(g) }
+
+// NewMemBackendWithAttrs wraps an in-memory graph plus per-node attribute
+// tables as a Backend — the heap-decoded counterpart of a disk backend over
+// a CSR file with embedded attributes.
+func NewMemBackendWithAttrs(g *Graph, attrs map[string][]float64) MemBackend {
+	return osn.NewMemBackendWithAttrs(g, attrs)
+}
+
+// NewDiskBackend wraps an opened CSR mapping as a Backend.
+func NewDiskBackend(m *MappedCSR) DiskBackend { return osn.NewDiskBackend(m) }
+
+// OpenDiskBackend opens a binary CSR file as a disk-backed Backend. Close
+// the returned mapping when done with the network.
+func OpenDiskBackend(path string) (DiskBackend, *MappedCSR, error) {
+	return osn.OpenDiskBackend(path)
+}
+
+// NewRemoteSim wraps a backend with simulated access latency: every round
+// trip sleeps latency ± jitter, and a k-node batch is answered over fanout
+// concurrent connections (fanout <= 0 selects a default pool width).
+func NewRemoteSim(inner Backend, latency, jitter time.Duration, fanout int) *RemoteSim {
+	return osn.NewRemoteSim(inner, latency, jitter, fanout)
+}
+
+// NewNetworkOn wraps any access backend as a simulated online social
+// network.
+func NewNetworkOn(be Backend, opts ...NetworkOption) *Network { return osn.NewNetworkOn(be, opts...) }
+
+// NewClient creates a metered client over a network. rng may be a
+// *rand.Rand or a NewFastRNG generator.
+func NewClient(net *Network, mode CostMode, rng RNG) *Client {
 	return osn.NewClient(net, mode, rng)
 }
 
@@ -54,7 +104,7 @@ func NewSharedCache() *SharedCache { return osn.NewSharedCache() }
 // NewClientShared creates a metered client attached to a shared neighbor
 // cache. Clients of the same cache may be used from different goroutines;
 // each keeps its own cost meter while the cache meters the fleet-wide cost.
-func NewClientShared(net *Network, mode CostMode, rng *rand.Rand, sc *SharedCache) *Client {
+func NewClientShared(net *Network, mode CostMode, rng RNG, sc *SharedCache) *Client {
 	return osn.NewClientShared(net, mode, rng, sc)
 }
 

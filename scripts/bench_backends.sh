@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Benchmark job for the pluggable access backends (ISSUE 3): records
+# wall-clock per frontier fill at 0/10/50 ms simulated remote latency,
+# batched vs per-node, plus the million-node disk-backend run (generation
+# time, heap cost of mmap-open vs heap-load, queries/sample) into
+# BENCH_backends.json.
+#
+# The acceptance criteria this record demonstrates:
+#   - batched prefetch beats per-node fetch on wall-clock at >= 10 ms
+#     simulated latency (by ~the simulated connection fanout);
+#   - the disk backend samples a 1M-node generated graph with near-zero
+#     heap growth for the edge payload (heap-open-MB << heap-load-MB).
+#
+# Usage: scripts/bench_backends.sh [benchtime]   (default 2x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-2x}"
+OUT="BENCH_backends.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'BenchmarkFrontierFetch' -benchtime "$BENCHTIME" \
+  -timeout 30m . | tee "$RAW"
+
+go test -run '^$' -bench 'BenchmarkDiskMillionNode' -benchtime 1x \
+  -timeout 30m . | tee -a "$RAW"
+
+# Parse `go test -bench` lines into JSON, keeping every "<value> <unit>"
+# metric pair (ns/op plus the custom gen-s / heap-*-MB / queries-sample
+# metrics). The trailing -N GOMAXPROCS suffix is stripped for stability.
+awk -v benchtime="$BENCHTIME" '
+  BEGIN { n = 0 }
+  /^Benchmark/ {
+    name = $1; iters = $2
+    sub(/-[0-9]+$/, "", name)
+    line = sprintf("    {\"name\": \"%s\", \"iters\": %s", name, iters)
+    for (i = 3; i + 1 <= NF; i += 2) {
+      unit = $(i+1)
+      gsub(/[^A-Za-z0-9]/, "_", unit)
+      line = line sprintf(", \"%s\": %s", unit, $i)
+    }
+    line = line "}"
+    lines[n++] = line
+  }
+  END {
+    printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", benchtime
+    for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
+    printf "  ]\n}\n"
+  }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"

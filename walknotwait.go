@@ -37,9 +37,21 @@ import (
 	"io"
 	"math/rand"
 
+	"repro/internal/fastrand"
 	"repro/internal/gen"
 	"repro/internal/graph"
 )
+
+// RNG is the random-source interface the generators and samplers consume;
+// both *math/rand.Rand and the library's fast xoshiro256++ generator
+// (NewFastRNG) satisfy it.
+type RNG = fastrand.RNG
+
+// NewFastRNG returns a seeded xoshiro256++ generator — the fast RNG the
+// internal sampling engines run on. Use it in place of a *rand.Rand when
+// generating very large graphs; note the two produce different (but equally
+// reproducible) streams for the same seed.
+func NewFastRNG(seed int64) RNG { return fastrand.New(seed) }
 
 // Graph is an immutable simple undirected graph in CSR form; see
 // NewGraphBuilder and the generator functions for construction, and
@@ -67,14 +79,38 @@ func LoadEdgeList(path string) (*Graph, error) { return graph.LoadEdgeList(path)
 // SaveEdgeList writes a graph to an edge-list file.
 func SaveEdgeList(path string, g *Graph) error { return graph.SaveEdgeList(path, g) }
 
+// MappedCSR is a graph opened from a binary CSR file — memory-mapped where
+// the platform allows, so million-node graphs open in O(1) and sample
+// without holding their edges on the heap.
+type MappedCSR = graph.MappedCSR
+
+// SaveCSR writes a graph (plus optional per-node float64 attribute tables)
+// to the named file in the binary CSR format.
+func SaveCSR(path string, g *Graph, attrs map[string][]float64) error {
+	return graph.SaveCSR(path, g, attrs)
+}
+
+// LoadCSR reads a binary CSR file fully into memory.
+func LoadCSR(path string) (*Graph, map[string][]float64, error) { return graph.LoadCSR(path) }
+
+// OpenCSR opens a binary CSR file, memory-mapping it when possible. Close
+// the result when done.
+func OpenCSR(path string) (*MappedCSR, error) { return graph.OpenCSR(path) }
+
+// IsCSRFile reports whether the named file is a binary CSR graph (as
+// opposed to a plain-text edge list).
+func IsCSRFile(path string) bool { return graph.IsCSRFile(path) }
+
 // NewBarabasiAlbert generates a Barabási–Albert scale-free graph: n nodes,
-// m preferential attachments per new node.
-func NewBarabasiAlbert(n, m int, rng *rand.Rand) *Graph { return gen.BarabasiAlbert(n, m, rng) }
+// m preferential attachments per new node. Accepts a *rand.Rand (frozen
+// fixture streams) or a NewFastRNG generator (million-node graphs in
+// seconds).
+func NewBarabasiAlbert(n, m int, rng RNG) *Graph { return gen.BarabasiAlbert(n, m, rng) }
 
 // NewHolmeKim generates a scale-free graph with tunable clustering: like
 // Barabási–Albert but each subsequent edge is, with probability pt, a
-// triad-formation step.
-func NewHolmeKim(n, m int, pt float64, rng *rand.Rand) *Graph { return gen.HolmeKim(n, m, pt, rng) }
+// triad-formation step. Accepts a *rand.Rand or a NewFastRNG generator.
+func NewHolmeKim(n, m int, pt float64, rng RNG) *Graph { return gen.HolmeKim(n, m, pt, rng) }
 
 // NewCycle generates the cycle graph C_n.
 func NewCycle(n int) *Graph { return gen.Cycle(n) }
