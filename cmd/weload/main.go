@@ -1,0 +1,302 @@
+// Command weload is a closed-loop load generator for the weserve daemon: C
+// concurrent loops each submit a sampling job, follow its NDJSON stream
+// counting samples as they arrive, and move on to the next job — so offered
+// load tracks service capacity instead of piling up. It reports throughput
+// (jobs/s, samples/s) and job-latency percentiles as a JSON record, the raw
+// material of BENCH_serve.json.
+//
+// Usage:
+//
+//	weload -addr 127.0.0.1:7117 -jobs 16 -concurrency 4 -count 20 -workers 2
+//	weload -addr 127.0.0.1:7117 -wait 10s -label warm -out BENCH_run.json
+//
+// -wait polls /healthz until the daemon answers (for scripts that boot
+// weserve and immediately drive it). Seeds default to base+jobIndex so runs
+// are reproducible; pass -same-seed to make every job identical (the warm-
+// replay workload that isolates cache effects).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7117", "weserve address (host:port or URL)")
+		jobs     = flag.Int("jobs", 16, "total jobs to run")
+		conc     = flag.Int("concurrency", 4, "closed-loop client loops")
+		count    = flag.Int("count", 20, "samples per job")
+		workers  = flag.Int("workers", 2, "estimation workers per job")
+		design   = flag.String("design", "srw", "input design: srw | mhrw")
+		jobType  = flag.String("type", "sample", "job type: sample | estimate-mean | walk-path")
+		seed     = flag.Int64("seed", 1, "base seed (job i uses seed+i)")
+		sameSeed = flag.Bool("same-seed", false, "give every job the identical seed (warm-replay workload)")
+		wait     = flag.Duration("wait", 0, "poll /healthz up to this long before starting")
+		label    = flag.String("label", "", "label recorded in the output JSON")
+		out      = flag.String("out", "", "output path for the JSON record (default stdout)")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "per-job client timeout")
+	)
+	flag.Parse()
+	if err := run(*addr, *jobs, *conc, *count, *workers, *design, *jobType,
+		*seed, *sameSeed, *wait, *label, *out, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "weload:", err)
+		os.Exit(1)
+	}
+}
+
+// record is the JSON document weload emits.
+type record struct {
+	Label         string  `json:"label,omitempty"`
+	Addr          string  `json:"addr"`
+	Type          string  `json:"type"`
+	Design        string  `json:"design"`
+	Jobs          int     `json:"jobs"`
+	Concurrency   int     `json:"concurrency"`
+	CountPerJob   int     `json:"count_per_job"`
+	WorkersPerJob int     `json:"workers_per_job"`
+	Errors        int     `json:"errors"`
+	Samples       int64   `json:"samples"`
+	WallS         float64 `json:"wall_s"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	JobsPerSec    float64 `json:"jobs_per_sec"`
+	LatencyMS     struct {
+		Mean float64 `json:"mean"`
+		P50  float64 `json:"p50"`
+		P90  float64 `json:"p90"`
+		P99  float64 `json:"p99"`
+		Max  float64 `json:"max"`
+	} `json:"latency_ms"`
+	FleetQueries int64 `json:"fleet_queries_after"`
+}
+
+func run(addr string, jobs, conc, count, workers int, design, jobType string,
+	seed int64, sameSeed bool, wait time.Duration, label, out string,
+	timeout time.Duration) error {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{Timeout: timeout}
+
+	if wait > 0 {
+		if err := waitHealthy(client, base, wait); err != nil {
+			return err
+		}
+	}
+	if jobs < 1 || conc < 1 {
+		return fmt.Errorf("need jobs >= 1 and concurrency >= 1")
+	}
+	if conc > jobs {
+		conc = jobs
+	}
+
+	var (
+		next      atomic.Int64
+		samples   atomic.Int64
+		errs      atomic.Int64
+		fleetQ    atomic.Int64
+		mu        sync.Mutex
+		latencies []float64
+		wg        sync.WaitGroup
+	)
+	began := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= jobs {
+					return
+				}
+				s := seed + int64(i)
+				if sameSeed {
+					s = seed
+				}
+				t0 := time.Now()
+				n, fq, err := runJob(client, base, jobType, design, count, workers, s)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "weload: job %d: %v\n", i, err)
+					errs.Add(1)
+					continue
+				}
+				samples.Add(n)
+				if fq > 0 {
+					// Best-effort meter read: never let a failed status
+					// fetch zero out a valid reading from an earlier job.
+					fleetQ.Store(fq)
+				}
+				d := time.Since(t0)
+				mu.Lock()
+				latencies = append(latencies, float64(d)/float64(time.Millisecond))
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(began)
+
+	rec := record{
+		Label: label, Addr: base, Type: jobType, Design: design,
+		Jobs: jobs, Concurrency: conc, CountPerJob: count, WorkersPerJob: workers,
+		Errors:       int(errs.Load()),
+		Samples:      samples.Load(),
+		WallS:        wall.Seconds(),
+		FleetQueries: fleetQ.Load(),
+	}
+	if wall > 0 {
+		rec.SamplesPerSec = float64(rec.Samples) / wall.Seconds()
+		rec.JobsPerSec = float64(jobs-rec.Errors) / wall.Seconds()
+	}
+	sort.Float64s(latencies)
+	if len(latencies) > 0 {
+		sum := 0.0
+		for _, v := range latencies {
+			sum += v
+		}
+		rec.LatencyMS.Mean = sum / float64(len(latencies))
+		rec.LatencyMS.P50 = percentile(latencies, 0.50)
+		rec.LatencyMS.P90 = percentile(latencies, 0.90)
+		rec.LatencyMS.P99 = percentile(latencies, 0.99)
+		rec.LatencyMS.Max = latencies[len(latencies)-1]
+	}
+
+	enc, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(out, enc, 0o644)
+}
+
+// runJob submits one job and follows its NDJSON stream to completion,
+// returning the number of samples produced and the fleet-wide query meter
+// reported by the terminal status.
+func runJob(client *http.Client, base, jobType, design string, count, workers int, seed int64) (int64, int64, error) {
+	spec := map[string]any{
+		"type":    jobType,
+		"design":  design,
+		"count":   count,
+		"seed":    seed,
+		"workers": workers,
+	}
+	body, _ := json.Marshal(spec)
+	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	sub, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return 0, 0, fmt.Errorf("submit: %d %s", resp.StatusCode, bytes.TrimSpace(sub))
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(sub, &st); err != nil {
+		return 0, 0, fmt.Errorf("submit response: %v", err)
+	}
+
+	resp, err = client.Get(base + "/v1/jobs/" + st.ID + "/stream")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var n int64
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var terminal struct {
+		Done  bool   `json:"done"`
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		if bytes.Contains(line, []byte(`"done"`)) {
+			if err := json.Unmarshal(line, &terminal); err == nil && terminal.Done {
+				continue
+			}
+		}
+		var s struct {
+			Node *int  `json:"node"`
+			Cost int64 `json:"cost"`
+		}
+		if err := json.Unmarshal(line, &s); err != nil || s.Node == nil {
+			continue
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, 0, err
+	}
+	if terminal.State != "done" {
+		return n, 0, fmt.Errorf("job %s ended %q: %s", st.ID, terminal.State, terminal.Error)
+	}
+
+	// One status read for the fleet meter after the job.
+	resp, err = client.Get(base + "/v1/jobs/" + st.ID)
+	if err != nil {
+		return n, 0, nil // stream already succeeded; meter is best-effort
+	}
+	defer resp.Body.Close()
+	var full struct {
+		Result *struct {
+			FleetQueries int64 `json:"fleet_queries"`
+		} `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&full); err == nil && full.Result != nil {
+		return n, full.Result.FleetQueries, nil
+	}
+	return n, 0, nil
+}
+
+func waitHealthy(client *http.Client, base string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon at %s not healthy after %v", base, wait)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// percentile returns the p-th percentile of sorted xs (nearest-rank).
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(xs)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(xs) {
+		i = len(xs) - 1
+	}
+	return xs[i]
+}

@@ -68,55 +68,10 @@ func main() {
 	}
 }
 
-// openBackend builds the access backend for the input file. The returned
-// cleanup releases any file mapping; call it after sampling finishes.
-func openBackend(in, backendName string, latency, jitter time.Duration, fanout int) (wnw.Backend, func(), error) {
-	noop := func() {}
-	base := func() (wnw.Backend, func(), error) {
-		if wnw.IsCSRFile(in) {
-			be, m, err := wnw.OpenDiskBackend(in)
-			if err != nil {
-				return nil, nil, err
-			}
-			return be, func() { m.Close() }, nil
-		}
-		g, err := wnw.LoadEdgeList(in)
-		if err != nil {
-			return nil, nil, err
-		}
-		return wnw.NewMemBackend(g), noop, nil
-	}
-	switch backendName {
-	case "mem":
-		if wnw.IsCSRFile(in) {
-			// Decode to the heap, keeping any embedded attribute tables so
-			// mem and disk present the same network for the same file.
-			g, attrs, err := wnw.LoadCSR(in)
-			if err != nil {
-				return nil, nil, err
-			}
-			return wnw.NewMemBackendWithAttrs(g, attrs), noop, nil
-		}
-		return base()
-	case "disk":
-		if !wnw.IsCSRFile(in) {
-			return nil, nil, fmt.Errorf("-backend disk needs a binary CSR input (generate one with: wegen -format csr)")
-		}
-		return base()
-	case "sim":
-		inner, cleanup, err := base()
-		if err != nil {
-			return nil, nil, err
-		}
-		return wnw.NewRemoteSim(inner, latency, jitter, fanout), cleanup, nil
-	}
-	return nil, nil, fmt.Errorf("unknown backend %q (want mem, disk or sim)", backendName)
-}
-
 func run(in, backendName string, latency, jitter time.Duration, fanout int,
 	samplerName, designName string, count, start, walkLen, hops,
 	burnin, thin int, geweke float64, maxStep int, seed int64, workers int, quiet bool) error {
-	be, cleanup, err := openBackend(in, backendName, latency, jitter, fanout)
+	be, cleanup, err := wnw.OpenBackend(in, backendName, latency, jitter, fanout)
 	if err != nil {
 		return err
 	}
@@ -198,8 +153,9 @@ func run(in, backendName string, latency, jitter time.Duration, fanout int,
 	fmt.Fprintf(os.Stderr, "samples %d, query-cost %d, AVG-degree estimate %.4f (truth %.4f, rel-err %.4f)\n",
 		res.Len(), c.TotalQueries(), est, truth, wnw.RelativeError(est, truth))
 	if sim, ok := be.(*wnw.RemoteSim); ok {
-		fmt.Fprintf(os.Stderr, "sim backend: %d round trips at %v±%v, wall-clock %v (%.1f ms/sample)\n",
-			sim.RoundTrips(), latency, jitter, elapsed.Round(time.Millisecond),
+		fmt.Fprintf(os.Stderr, "sim backend: %d round trips at %v±%v (%v simulated latency charged), wall-clock %v (%.1f ms/sample)\n",
+			sim.RoundTrips(), latency, jitter, sim.SimulatedWait().Round(time.Millisecond),
+			elapsed.Round(time.Millisecond),
 			float64(elapsed.Milliseconds())/float64(max(1, res.Len())))
 	}
 	return nil

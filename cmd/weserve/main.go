@@ -1,0 +1,101 @@
+// Command weserve runs the sampling-as-a-service daemon: it loads a graph
+// once — through any access backend (in-memory, memory-mapped disk CSR, or
+// simulated remote API) — and serves sampling jobs over HTTP, keeping one
+// long-lived shared neighbor cache and the crawl tables hot across all
+// requests. The first job pays the warm-up; every later job rides on it.
+//
+// Usage:
+//
+//	weserve -in graph.csr -addr :7117
+//	weserve -in graph.txt -backend sim -latency 10ms -jitter 2ms
+//	weserve -in graph.csr -backend disk -runners 4 -worker-budget 16
+//
+// Endpoints: POST /v1/jobs, GET /v1/jobs[/{id}[/stream]], DELETE
+// /v1/jobs/{id}, /healthz, /metrics (Prometheus text). See
+// cmd/weserve/README.md for a curl-able walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	wnw "repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "graph file: edge list or binary CSR (required)")
+		backend = flag.String("backend", "mem", "access backend: mem | disk | sim")
+		latency = flag.Duration("latency", 50*time.Millisecond, "simulated per-round-trip latency (sim backend)")
+		jitter  = flag.Duration("jitter", 0, "simulated latency jitter, uniform in ±jitter (sim backend)")
+		fanout  = flag.Int("fanout", 0, "simulated concurrent connections for batch requests (sim backend; 0 = default)")
+		addr    = flag.String("addr", ":7117", "HTTP listen address")
+		queue   = flag.Int("queue", 64, "bounded job-queue depth (admission control)")
+		runners = flag.Int("runners", 2, "jobs run concurrently")
+		budget  = flag.Int("worker-budget", 0, "global estimation-worker pool (0 = 4x runners)")
+		maxWork = flag.Int("max-workers-per-job", 0, "per-job worker clamp (0 = the whole budget)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "weserve: -in is required")
+		os.Exit(2)
+	}
+	if err := run(*in, *backend, *latency, *jitter, *fanout, *addr,
+		*queue, *runners, *budget, *maxWork); err != nil {
+		fmt.Fprintln(os.Stderr, "weserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, backendName string, latency, jitter time.Duration, fanout int,
+	addr string, queue, runners, budget, maxWork int) error {
+	be, cleanup, err := wnw.OpenBackend(in, backendName, latency, jitter, fanout)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	net := wnw.NewNetworkOn(be)
+	eng := serve.NewEngine(net)
+	mgr := serve.NewManager(eng, serve.Config{
+		QueueDepth:       queue,
+		Runners:          runners,
+		WorkerBudget:     budget,
+		MaxWorkersPerJob: maxWork,
+	})
+	cfg := mgr.Config()
+	log.Printf("weserve: graph %q (%d nodes) backend=%s addr=%s runners=%d worker-budget=%d queue=%d",
+		in, net.NumNodes(), backendName, addr, cfg.Runners, cfg.WorkerBudget, cfg.QueueDepth)
+
+	srv := &http.Server{Addr: addr, Handler: serve.Handler(mgr)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		mgr.Close()
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("weserve: shutting down")
+	// Cancel jobs first: that terminates their NDJSON streams, so Shutdown's
+	// wait for in-flight handlers can actually finish.
+	mgr.Close()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("weserve: shutdown: %v", err)
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -57,6 +58,19 @@ type pcand struct {
 // generated but never consumed still pay their forward-walk and estimation
 // steps, exactly as a real speculative crawler would.
 func (s *Sampler) SampleNParallel(n, workers int) (walk.Result, error) {
+	return s.SampleNParallelCtx(context.Background(), n, workers)
+}
+
+// SampleNParallelCtx is SampleNParallel with cancellation. The context is
+// checked at the two places work is committed: by the producer before each
+// batch is prefetched and dispatched, and by every estimation worker before
+// each candidate's backward walks. Once ctx is cancelled, in-flight
+// candidates are abandoned (their slot resolves to ctx's error instead of an
+// estimate) and no further forward walk, prefetch, or backward walk starts —
+// so the run stops charging queries within one batch. The checks consume no
+// RNG and cancelled runs return an error, so the per-(seed, workers)
+// determinism contract of *completed* runs is untouched.
+func (s *Sampler) SampleNParallelCtx(ctx context.Context, n, workers int) (walk.Result, error) {
 	if n < 0 {
 		return walk.Result{}, fmt.Errorf("core: negative sample count %d", n)
 	}
@@ -64,7 +78,7 @@ func (s *Sampler) SampleNParallel(n, workers int) (walk.Result, error) {
 		return walk.Result{}, fmt.Errorf("core: need >= 1 worker, got %d", workers)
 	}
 	if workers == 1 {
-		return s.SampleN(n)
+		return s.SampleNCtx(ctx, n)
 	}
 	res := walk.Result{
 		Nodes:     make([]int, 0, n),
@@ -107,6 +121,14 @@ func (s *Sampler) SampleNParallel(n, workers int) (walk.Result, error) {
 	for w := 0; w < workers; w++ {
 		go func(e *Estimator) {
 			for cd := range jobs {
+				if err := ctx.Err(); err != nil {
+					// Abandon promptly: the batch still drains (the barrier
+					// stays intact) but no further backward walk starts, so
+					// no further query is charged.
+					cd.err = err
+					wg.Done()
+					continue
+				}
 				e.Hist = cd.hist
 				pre := e.StepsTaken
 				// One cheaply-seeded xoshiro256++ stream per candidate;
@@ -165,8 +187,15 @@ func (s *Sampler) SampleNParallel(n, workers int) (walk.Result, error) {
 	var stepsSince int64 // walk steps since the last accepted sample
 
 	// consume applies bootstrap updates and acceptance tests in candidate
-	// order. It reports done=true once n samples are accepted.
+	// order. It reports done=true once n samples are accepted. A cancelled
+	// context is authoritative here: even a batch that raced to completion
+	// resolves to ctx's error, so a run either never observed cancellation
+	// (and is bit-identical to an uncancelled one) or returns an error —
+	// there is no third state.
 	consume := func(cands []*pcand) (done bool, err error) {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		for i, cd := range cands {
 			if cd.err != nil {
 				return false, cd.err
@@ -186,6 +215,11 @@ func (s *Sampler) SampleNParallel(n, workers int) (walk.Result, error) {
 					res.Nodes = append(res.Nodes, cd.v)
 					res.Steps = append(res.Steps, int(stepsSince))
 					res.CostAfter = append(res.CostAfter, s.c.TotalQueries())
+					if s.OnSample != nil {
+						k := len(res.Nodes) - 1
+						s.OnSample(SampleEvent{Index: k, Node: cd.v,
+							Steps: res.Steps[k], CostAfter: res.CostAfter[k]})
+					}
 					stepsSince = 0
 					attemptsSince = 0
 					if len(res.Nodes) == n {
@@ -229,6 +263,11 @@ func (s *Sampler) SampleNParallel(n, workers int) (walk.Result, error) {
 
 	cur := generate(batchSize())
 	for {
+		// Producer-side cancellation point: between batches, before any of
+		// the next batch's queries (prefetch, estimates) are charged.
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		// Batched frontier prefetch, at dispatch time: the batch's candidate
 		// endpoints are exactly the nodes every estimation worker queries
 		// first (each backward walk starts at its candidate), so issue the
@@ -259,7 +298,9 @@ func (s *Sampler) SampleNParallel(n, workers int) (walk.Result, error) {
 		if s.attempts > 0 {
 			likelyAccepts = int(2 * float64(s.accepted) / float64(s.attempts) * float64(len(cur)))
 		}
-		if likelyAccepts < rem {
+		// A cancelled run is about to error out of consume — speculating a
+		// next batch would only charge forward walks nobody will estimate.
+		if likelyAccepts < rem && ctx.Err() == nil {
 			next = generate(batchSize())
 		}
 		wg.Wait()
@@ -289,6 +330,15 @@ func (s *Sampler) SampleNParallel(n, workers int) (walk.Result, error) {
 // read an immutable snapshot of e.Hist. Backward steps are accounted back
 // into e.StepsTaken before returning.
 func EstimateAllParallel(e *Estimator, nodes []int, t, baseReps, extraBudget, workers int, seed int64) (map[int]float64, error) {
+	return EstimateAllParallelCtx(context.Background(), e, nodes, t, baseReps, extraBudget, workers, seed)
+}
+
+// EstimateAllParallelCtx is EstimateAllParallel with cancellation: the
+// feeder stops handing out nodes and workers abandon their remaining
+// repetitions once ctx is cancelled, and the call returns ctx's error. The
+// checks consume no RNG, so completed calls are bit-identical to
+// EstimateAllParallel.
+func EstimateAllParallelCtx(ctx context.Context, e *Estimator, nodes []int, t, baseReps, extraBudget, workers int, seed int64) (map[int]float64, error) {
 	if baseReps < 1 {
 		return nil, fmt.Errorf("core: baseReps must be >= 1, got %d", baseReps)
 	}
@@ -329,6 +379,10 @@ func EstimateAllParallel(e *Estimator, nodes []int, t, baseReps, extraBudget, wo
 			go func(est *Estimator) {
 				defer wg.Done()
 				for i := range idx {
+					if err := ctx.Err(); err != nil {
+						errs[i] = err
+						continue
+					}
 					rng := fastrand.New(fastrand.Mix(seed, int64(i), phase))
 					for r := 0; r < reps[i]; r++ {
 						v, err := est.EstimateOnce(nodes[i], t, rng)
@@ -342,12 +396,20 @@ func EstimateAllParallel(e *Estimator, nodes []int, t, baseReps, extraBudget, wo
 			}(ests[w])
 		}
 		for i := range nodes {
+			if ctx.Err() != nil {
+				break // drain: workers mark any already-queued nodes instead
+			}
 			if reps[i] > 0 && errs[i] == nil {
 				idx <- i
 			}
 		}
 		close(idx)
 		wg.Wait()
+		// Cancellation is authoritative: a phase cut short must never read
+		// as a completed (but silently shallower) estimate.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for _, err := range errs {
 			if err != nil {
 				return err

@@ -1,9 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"repro/internal/fastrand"
 
+	"repro/internal/fastrand"
 	"repro/internal/mathx"
 	"repro/internal/osn"
 	"repro/internal/walk"
@@ -27,6 +28,14 @@ type Config struct {
 	// CrawlHops is h, the crawl radius; zero means 2 (the paper's default
 	// for most datasets; it uses 1 for the dense Google Plus graph).
 	CrawlHops int
+	// Crawl, when non-nil, is a prebuilt crawl table the sampler reuses
+	// instead of crawling the h-ball itself (implies the crawling
+	// heuristic). A long-lived service builds the table once per
+	// (design, start, hops) and injects it into every subsequent job: the
+	// table is a deterministic function of the graph and those parameters,
+	// so injection leaves each job's sample sequence bit-identical to one
+	// that crawled itself — only the crawl's query charges are saved.
+	Crawl *CrawlTable
 	// UseWeighted enables the weighted backward sampling heuristic
 	// (Section 5.3).
 	UseWeighted bool
@@ -93,6 +102,14 @@ type Sampler struct {
 	hist *History
 	boot ScaleBootstrap
 
+	// OnSample, when set, is invoked synchronously for each accepted sample
+	// of SampleN/SampleNCtx and SampleNParallel/SampleNParallelCtx, in
+	// acceptance order, from the sampler's own goroutine (the parallel
+	// engine's consumer runs on the calling goroutine too). A service uses
+	// it to stream accepted samples to clients while a job is still
+	// running. The hook must not call back into the sampler.
+	OnSample func(SampleEvent)
+
 	forwardSteps int64
 	attempts     int64
 	accepted     int64
@@ -115,8 +132,8 @@ func NewSampler(c *osn.Client, cfg Config, rng fastrand.RNG) (*Sampler, error) {
 	}
 	s := &Sampler{cfg: cfg, c: c, rng: rng}
 	s.boot.Percentile = cfg.ScalePercentile
-	var crawl *CrawlTable
-	if cfg.UseCrawl {
+	crawl := cfg.Crawl
+	if crawl == nil && cfg.UseCrawl {
 		var err error
 		crawl, err = BuildCrawlTable(c, cfg.Design, cfg.Start, cfg.crawlHops())
 		if err != nil {
@@ -137,11 +154,33 @@ func NewSampler(c *osn.Client, cfg Config, rng fastrand.RNG) (*Sampler, error) {
 	return s, nil
 }
 
+// SampleEvent describes one accepted sample, in the shape of one row of a
+// walk.Result: its index in the run, the node, the walk steps spent since
+// the previous acceptance, and the fleet-wide query cost right after it.
+type SampleEvent struct {
+	Index     int
+	Node      int
+	Steps     int
+	CostAfter int64
+}
+
 // Sample draws one node from the target distribution. It walks, estimates,
 // and rejects until a candidate is accepted (bounded by MaxAttempts).
 func (s *Sampler) Sample() (int, error) {
+	return s.sample(context.Background())
+}
+
+// sample is Sample with a cancellation context, checked once per rejection
+// attempt — the natural quantum of the sequential sampler: after a cancelled
+// check, no further forward walk or backward estimate is started, so no
+// further query is charged. The check consumes no RNG, so runs that complete
+// are bit-identical with and without a context.
+func (s *Sampler) sample(ctx context.Context) (int, error) {
 	t := s.cfg.WalkLength
 	for attempt := 0; attempt < s.cfg.maxAttempts(); attempt++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		s.attempts++
 		path := walk.Path(s.c, s.cfg.Design, s.cfg.Start, t, s.rng)
 		s.forwardSteps += int64(t)
@@ -208,6 +247,14 @@ func EstimateAdaptive(e *Estimator, v, t, baseReps, varianceBudget int, rng fast
 // walk steps (forward + backward) after each, in the same shape the
 // traditional samplers report.
 func (s *Sampler) SampleN(n int) (walk.Result, error) {
+	return s.SampleNCtx(context.Background(), n)
+}
+
+// SampleNCtx is SampleN with cancellation: once ctx is cancelled the sampler
+// returns ctx's error before starting another rejection attempt, so at most
+// one in-flight candidate's queries are still charged. Runs that complete
+// are bit-identical to SampleN — the context check consumes no RNG.
+func (s *Sampler) SampleNCtx(ctx context.Context, n int) (walk.Result, error) {
 	res := walk.Result{
 		Nodes:     make([]int, 0, n),
 		Steps:     make([]int, 0, n),
@@ -215,7 +262,7 @@ func (s *Sampler) SampleN(n int) (walk.Result, error) {
 	}
 	for i := 0; i < n; i++ {
 		prevSteps := s.TotalSteps()
-		v, err := s.Sample()
+		v, err := s.sample(ctx)
 		if err != nil {
 			return res, err
 		}
@@ -225,6 +272,10 @@ func (s *Sampler) SampleN(n int) (walk.Result, error) {
 		// but keeps the cost axis consistent (and monotone) when sequential
 		// and parallel draws are mixed on one sampler.
 		res.CostAfter = append(res.CostAfter, s.c.TotalQueries())
+		if s.OnSample != nil {
+			s.OnSample(SampleEvent{Index: i, Node: v,
+				Steps: res.Steps[i], CostAfter: res.CostAfter[i]})
+		}
 	}
 	return res, nil
 }

@@ -188,6 +188,7 @@ type RemoteSim struct {
 	fanout  int
 	seq     atomic.Uint64 // jitter stream position
 	rtts    atomic.Int64  // round trips slept (batch = one per element, overlapped)
+	slept   atomic.Int64  // total simulated latency charged, in nanoseconds
 }
 
 // DefaultFanout is the simulated connection-pool width used when
@@ -210,6 +211,17 @@ func NewRemoteSim(inner Backend, latency, jitter time.Duration, fanout int) *Rem
 // batch element counts as one call; batch calls overlap in wall-clock).
 func (r *RemoteSim) RoundTrips() int64 { return r.rtts.Load() }
 
+// SimulatedWait returns the total simulated latency charged so far, summed
+// over every round trip (batch calls overlap in wall-clock, but each still
+// charges its own latency here — this is the serial access cost the paper's
+// query counts translate to). Because each round trip's jitter is a pure
+// function of its position in the atomic jitter stream, the total is a
+// deterministic function of the round-trip count alone, independent of
+// goroutine scheduling.
+func (r *RemoteSim) SimulatedWait() time.Duration {
+	return time.Duration(r.slept.Load())
+}
+
 func (r *RemoteSim) sleep() {
 	r.rtts.Add(1)
 	d := r.latency
@@ -222,6 +234,7 @@ func (r *RemoteSim) sleep() {
 		d += time.Duration(int64(z%uint64(2*r.jitter+1)) - int64(r.jitter))
 	}
 	if d > 0 {
+		r.slept.Add(int64(d))
 		time.Sleep(d)
 	}
 }

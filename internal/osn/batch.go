@@ -129,6 +129,68 @@ func (c *Client) Prefetch(vs []int32) {
 	c.NeighborsBatch(vs, out)
 }
 
+// LookaheadNeighbors warms the L1 for the forward-walk frontier of u: the
+// nodes a walk standing at u may step to next. It pulls the subset of u's
+// neighbors that the fleet has *already fetched and paid for* (present in
+// the shared cache) into this client's L1 in one batched read-locked pass
+// per shard — so the subsequent step's Neighbors call is a lock-free L1 hit
+// instead of a shared-cache lock pair. It never contacts the backend, never
+// charges a query, and consumes no RNG, so it is cost-neutral on the
+// paper's query axis and invisible to every determinism contract.
+//
+// Reading u's own list is the one access it shares with the step that
+// follows (which would issue it anyway), so that too adds no charge. It
+// returns the number of entries pulled into the L1; it is a free no-op for
+// private clients and under non-deterministic (type-1) restrictions, where
+// nothing may be cached.
+func (c *Client) LookaheadNeighbors(u int) int {
+	if c.shared == nil || !c.cacheable {
+		return 0
+	}
+	return c.PrefetchCached(c.Neighbors(u))
+}
+
+// PrefetchCached pulls the already-cached (fleet-paid) entries among vs into
+// the client's L1 in one batched shared-cache read pass. Unlike Prefetch it
+// never falls through to the backend and never charges: nodes absent from
+// the shared cache are simply skipped. Returns the number of entries
+// installed. No-op for private clients and under type-1 restrictions.
+func (c *Client) PrefetchCached(vs []int32) int {
+	if c.shared == nil || !c.cacheable || len(vs) == 0 {
+		return 0
+	}
+	// L1 pass: only ids this client does not already hold need a lookup.
+	ids := c.batchIDs[:0]
+	for _, v := range vs {
+		if c.present[uint(v)>>6]&(1<<(uint(v)&63)) == 0 {
+			ids = append(ids, v)
+		}
+	}
+	slices.Sort(ids)
+	ids = slices.Compact(ids)
+	c.batchIDs = ids
+	if len(ids) == 0 {
+		return 0
+	}
+	if cap(c.batchLists) < len(ids) {
+		c.batchLists = make([][]int32, len(ids), 2*len(ids))
+	}
+	lists := c.batchLists[:len(ids)]
+	if cap(c.batchFirst) < len(ids) {
+		c.batchFirst = make([]bool, len(ids), 2*len(ids))
+	}
+	found := c.batchFirst[:len(ids)]
+	c.shared.lookupBatch(ids, lists, found, &c.groups)
+	n := 0
+	for i, v := range ids {
+		if found[i] {
+			c.setL1(int(v), lists[i])
+			n++
+		}
+	}
+	return n
+}
+
 // chargeBatch is the batched form of charge for k nodes fetched from the
 // backend, whose first-access flags (resolved by the fused fillBatch
 // test-and-set, or locally for a private client) are in first[:k]: the

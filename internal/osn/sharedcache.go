@@ -40,6 +40,7 @@ type SharedCache struct {
 	shards  [cacheShards]cacheShard
 	queries atomic.Int64
 	calls   atomic.Int64
+	uniq    atomic.Int64 // distinct nodes accessed, for lock-free Stats
 }
 
 type cacheShard struct {
@@ -47,7 +48,6 @@ type cacheShard struct {
 	nbr     [][]int32 // nbr[idx] valid iff bit idx of present is set
 	present []uint64
 	queried []uint64
-	nq      int // popcount of queried, for O(1) UniqueNodes
 }
 
 // NewSharedCache returns an empty shared neighbor cache. Shard storage grows
@@ -210,7 +210,7 @@ func (sc *SharedCache) fillBatch(ids []int32, lists [][]int32, first []bool, sg 
 				first[i] = false
 			} else {
 				sh.queried[w] |= bit
-				sh.nq++
+				sc.uniq.Add(1)
 				first[i] = true
 			}
 		}
@@ -230,8 +230,8 @@ func (sc *SharedCache) markQueried(v int32) bool {
 	}
 	sh.grow(idx)
 	sh.queried[w] |= bit
-	sh.nq++
 	sh.mu.Unlock()
+	sc.uniq.Add(1)
 	return true
 }
 
@@ -267,15 +267,39 @@ func (sc *SharedCache) ResetCost() {
 
 // UniqueNodes returns the number of distinct nodes accessed so far across
 // all attached clients.
-func (sc *SharedCache) UniqueNodes() int {
-	total := 0
-	for i := range sc.shards {
-		sh := &sc.shards[i]
-		sh.mu.RLock()
-		total += sh.nq
-		sh.mu.RUnlock()
+func (sc *SharedCache) UniqueNodes() int { return int(sc.uniq.Load()) }
+
+// CacheStats is a point-in-time snapshot of a SharedCache's fleet-wide
+// meters, cheap enough to read on every scrape of a metrics endpoint: three
+// atomic loads, no shard locks.
+type CacheStats struct {
+	// Queries is the fleet-wide query cost (the paper's cost axis).
+	Queries int64
+	// Calls is the total number of interface calls, cached or not.
+	Calls int64
+	// UniqueNodes is the number of distinct nodes accessed.
+	UniqueNodes int64
+}
+
+// HitRatio returns the fraction of interface calls served without charging a
+// new unique node — the cache hit ratio a long-lived service reports. Zero
+// before any call.
+func (s CacheStats) HitRatio() float64 {
+	if s.Calls == 0 {
+		return 0
 	}
-	return total
+	return 1 - float64(s.Queries)/float64(s.Calls)
+}
+
+// Stats returns an atomic snapshot of the fleet-wide meters. The three
+// counters are loaded independently (not one consistent cut), which is fine
+// for monitoring; phase-accurate accounting should quiesce clients first.
+func (sc *SharedCache) Stats() CacheStats {
+	return CacheStats{
+		Queries:     sc.queries.Load(),
+		Calls:       sc.calls.Load(),
+		UniqueNodes: sc.uniq.Load(),
+	}
 }
 
 // KnownNodes returns the sorted ids of all nodes accessed so far across all

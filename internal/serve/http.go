@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Handler returns the service's HTTP API over the manager:
+//
+//	POST   /v1/jobs            submit a JobSpec, returns the job status (202)
+//	GET    /v1/jobs            list all jobs
+//	GET    /v1/jobs/{id}        job status (result attached once done)
+//	GET    /v1/jobs/{id}/stream NDJSON: accepted samples as they are
+//	                            produced, then one terminal status line
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /healthz             liveness + engine summary
+//	GET    /metrics             Prometheus text exposition
+//
+// Routing is hand-rolled on path prefixes so it behaves identically across
+// Go versions (no dependence on 1.22 ServeMux patterns).
+func Handler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok":            true,
+			"uptime_s":      m.met.Uptime().Seconds(),
+			"graph_nodes":   m.eng.NumNodes(),
+			"jobs_inflight": m.met.jobsInFlight.Load(),
+			"samples":       m.met.Samples(),
+		})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		m.met.WriteProm(w, m.eng)
+	})
+	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			submit(m, w, r)
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, map[string]any{"jobs": m.List()})
+		default:
+			httpError(w, http.StatusMethodNotAllowed, "use POST to submit or GET to list")
+		}
+	})
+	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		id, stream := trimID(strings.TrimPrefix(r.URL.Path, "/v1/jobs/"))
+		job, ok := m.Get(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", id))
+			return
+		}
+		switch {
+		case stream && r.Method == http.MethodGet:
+			streamJob(w, r, job)
+		case r.Method == http.MethodGet:
+			writeJSON(w, http.StatusOK, job.Status())
+		case r.Method == http.MethodDelete:
+			m.Cancel(id)
+			writeJSON(w, http.StatusOK, job.Status())
+		default:
+			httpError(w, http.StatusMethodNotAllowed, "use GET for status/stream or DELETE to cancel")
+		}
+	})
+	return mux
+}
+
+func submit(m *Manager, w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
+		return
+	}
+	job, err := m.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err.Error())
+	default:
+		writeJSON(w, http.StatusAccepted, job.Status())
+	}
+}
+
+// streamJob serves NDJSON: one line per accepted sample, as it is produced,
+// and one final terminal-status line. Streaming attaches at any time — lines
+// already produced are replayed first, so a replay of a finished job is the
+// full sequence.
+func streamJob(w http.ResponseWriter, r *http.Request, job *Job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	// A disconnecting client must wake the cond-wait below, or the handler
+	// goroutine would linger until the job's next publish.
+	stop := context.AfterFunc(r.Context(), job.wake)
+	defer stop()
+
+	from := 0
+	for {
+		batch, terminal := job.waitSamples(r.Context(), from)
+		for i := range batch {
+			if err := enc.Encode(&batch[i]); err != nil {
+				return
+			}
+		}
+		from += len(batch)
+		if fl != nil {
+			fl.Flush()
+		}
+		if r.Context().Err() != nil {
+			return
+		}
+		if terminal && len(batch) == 0 {
+			st := job.Status()
+			enc.Encode(map[string]any{
+				"done":    true,
+				"state":   st.State,
+				"samples": st.Samples,
+				"error":   st.Error,
+			})
+			if fl != nil {
+				fl.Flush()
+			}
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]any{"error": msg})
+}

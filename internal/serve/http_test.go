@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/osn"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *Manager) {
+	t.Helper()
+	g := gen.BarabasiAlbert(300, 3, rand.New(rand.NewSource(42)))
+	eng := NewEngine(osn.NewNetwork(g))
+	m := NewManager(eng, Config{Runners: 2, WorkerBudget: 4})
+	srv := httptest.NewServer(Handler(m))
+	t.Cleanup(func() { srv.Close(); m.Close() })
+	return srv, m
+}
+
+func postJob(t *testing.T, srv *httptest.Server, spec string) JobStatus {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs: %d %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("bad status JSON %q: %v", body, err)
+	}
+	return st
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("bad JSON from %s: %v\n%s", url, err, body)
+		}
+	}
+	return resp.StatusCode
+}
+
+// Submit over HTTP, stream the accepted samples as NDJSON, and check the
+// final status: the stream replays the full sequence plus a terminal line.
+func TestHTTPSubmitAndStream(t *testing.T) {
+	srv, _ := testServer(t)
+	st := postJob(t, srv, `{"count": 12, "seed": 3, "workers": 2}`)
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + st.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	var nodes []int
+	var final map[string]any
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if bytes.Contains(line, []byte(`"done"`)) {
+			if err := json.Unmarshal(line, &final); err != nil {
+				t.Fatalf("bad terminal line %s: %v", line, err)
+			}
+			continue
+		}
+		var s Sample
+		if err := json.Unmarshal(line, &s); err != nil {
+			t.Fatalf("bad sample line %s: %v", line, err)
+		}
+		nodes = append(nodes, s.Node)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 12 {
+		t.Fatalf("streamed %d samples, want 12", len(nodes))
+	}
+	if final == nil || final["state"] != string(JobDone) {
+		t.Fatalf("terminal line: %v", final)
+	}
+
+	// Status must agree with the stream — and a second stream of the
+	// finished job replays the identical sequence.
+	var got JobStatus
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+st.ID, &got); code != http.StatusOK {
+		t.Fatalf("GET status: %d", code)
+	}
+	if got.State != JobDone || len(got.Result.Nodes) != 12 {
+		t.Fatalf("status: %+v", got)
+	}
+	for i, v := range got.Result.Nodes {
+		if nodes[i] != v {
+			t.Fatalf("stream[%d]=%d but result[%d]=%d", i, nodes[i], i, v)
+		}
+	}
+}
+
+// Identical specs through the HTTP API yield identical sequences (the
+// end-to-end form of the determinism acceptance criterion).
+func TestHTTPDeterminism(t *testing.T) {
+	srv, _ := testServer(t)
+	spec := `{"count": 10, "seed": 21, "workers": 3}`
+	var seqs [2][]int
+	for k := 0; k < 2; k++ {
+		st := postJob(t, srv, spec)
+		deadline := time.Now().Add(30 * time.Second)
+		var got JobStatus
+		for time.Now().Before(deadline) {
+			getJSON(t, srv.URL+"/v1/jobs/"+st.ID, &got)
+			if got.State.Terminal() {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if got.State != JobDone {
+			t.Fatalf("run %d: %+v", k, got)
+		}
+		seqs[k] = got.Result.Nodes
+	}
+	if fmt.Sprint(seqs[0]) != fmt.Sprint(seqs[1]) {
+		t.Fatalf("sequences differ:\n%v\n%v", seqs[0], seqs[1])
+	}
+}
+
+func TestHTTPHealthzAndMetrics(t *testing.T) {
+	srv, _ := testServer(t)
+	st := postJob(t, srv, `{"count": 5, "seed": 2}`)
+	deadline := time.Now().Add(30 * time.Second)
+	var got JobStatus
+	for time.Now().Before(deadline) {
+		getJSON(t, srv.URL+"/v1/jobs/"+st.ID, &got)
+		if got.State.Terminal() {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	var hz map[string]any
+	if code := getJSON(t, srv.URL+"/healthz", &hz); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if hz["ok"] != true || hz["graph_nodes"].(float64) != 300 {
+		t.Fatalf("healthz: %v", hz)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		"walknotwait_jobs_submitted_total 1",
+		"walknotwait_samples_total 5",
+		"walknotwait_queries_charged_total",
+		"walknotwait_cache_hit_ratio",
+		`walknotwait_stage_seconds_bucket{stage="run",le="+Inf"}`,
+		`walknotwait_jobs_finished_total{state="done"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestHTTPCancelAndErrors(t *testing.T) {
+	srv, m := testServer(t)
+
+	// Unknown job.
+	if code := getJSON(t, srv.URL+"/v1/jobs/nope", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job: %d", code)
+	}
+	// Bad spec.
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"type": "bogus"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec: %d", resp.StatusCode)
+	}
+
+	// DELETE cancels.
+	st := postJob(t, srv, `{"count": 100000, "seed": 8}`)
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: %d", resp.StatusCode)
+	}
+	job, _ := m.Get(st.ID)
+	final := waitJob(t, job)
+	if final.State != JobCancelled {
+		t.Fatalf("state after DELETE: %s", final.State)
+	}
+}

@@ -1,0 +1,633 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/fastrand"
+	"repro/internal/walk"
+)
+
+// Job types accepted by the service.
+const (
+	// TypeSample draws Count nodes from the design's target distribution
+	// with WALK-ESTIMATE.
+	TypeSample = "sample"
+	// TypeEstimateMean is TypeSample followed by the design-appropriate
+	// population-mean estimator over the Attr attribute.
+	TypeEstimateMean = "estimate-mean"
+	// TypeWalkPath runs one plain forward walk of Count steps and streams
+	// the visited nodes (a raw-walk debugging and warm-up primitive).
+	TypeWalkPath = "walk-path"
+)
+
+// JobSpec is the client-supplied description of a sampling job. The zero
+// value of every field selects a documented default; Submit normalizes the
+// spec (fills defaults, clamps Workers to the manager's per-job budget) and
+// the normalized spec is what the job's determinism contract is stated
+// over: two jobs with equal normalized specs produce identical sample
+// sequences, regardless of cache warmth or concurrent traffic.
+type JobSpec struct {
+	Type    string `json:"type,omitempty"`    // sample (default) | estimate-mean | walk-path
+	Design  string `json:"design,omitempty"`  // srw (default) | mhrw
+	Count   int    `json:"count,omitempty"`   // samples to draw / steps to walk; default 10
+	Seed    int64  `json:"seed,omitempty"`    // RNG seed; default 1
+	Workers int    `json:"workers,omitempty"` // estimation workers; default 1, clamped per job
+
+	// Start is the walk's starting node; nil selects the engine default
+	// (the max-degree node).
+	Start *int `json:"start,omitempty"`
+	// WalkLength is WE's t; 0 selects the engine default (2·D̄+1).
+	WalkLength int `json:"walklen,omitempty"`
+	// CrawlHops is the initial-crawl radius h; 0 means 2.
+	CrawlHops int `json:"hops,omitempty"`
+	// NoCrawl and NoWeighted disable the paper's two variance-reduction
+	// heuristics, which the service enables by default.
+	NoCrawl    bool `json:"no_crawl,omitempty"`
+	NoWeighted bool `json:"no_weighted,omitempty"`
+	// BackwardReps and VarianceBudget parameterize the backward estimator
+	// (0 = core defaults).
+	BackwardReps   int `json:"backward_reps,omitempty"`
+	VarianceBudget int `json:"variance_budget,omitempty"`
+	// Attr is the attribute estimate-mean aggregates; default "degree".
+	Attr string `json:"attr,omitempty"`
+}
+
+// Sample is one streamed output row: an accepted sample (or, for walk-path
+// jobs, a visited node), its walk steps, and the fleet-wide query cost right
+// after it was produced.
+type Sample struct {
+	Index int   `json:"i"`
+	Node  int   `json:"node"`
+	Steps int   `json:"steps"`
+	Cost  int64 `json:"cost"`
+}
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// JobResult is the summary attached to a finished job.
+type JobResult struct {
+	Samples int `json:"samples"`
+	// Queries is the fleet meter's growth over this job's run: the unique
+	// nodes the job actually had to pay for. Under a warm cache this
+	// shrinks toward zero — the amortization the service exists for. (With
+	// jobs running concurrently the delta includes their interleaved
+	// charges; it is exact when the job ran alone.)
+	Queries int64 `json:"queries"`
+	// FleetQueries is the service-wide unique-node cost after the job.
+	FleetQueries int64 `json:"fleet_queries"`
+	// AcceptanceRate is WE's accepted/attempted candidates (sample jobs).
+	AcceptanceRate float64 `json:"acceptance_rate,omitempty"`
+	// Estimate is the population-mean estimate (estimate-mean jobs).
+	Estimate *float64 `json:"estimate,omitempty"`
+	// Nodes is the accepted sample sequence, in order.
+	Nodes []int `json:"nodes,omitempty"`
+}
+
+// JobStatus is the JSON snapshot served for GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID      string     `json:"id"`
+	State   JobState   `json:"state"`
+	Spec    JobSpec    `json:"spec"`
+	Error   string     `json:"error,omitempty"`
+	Samples int        `json:"samples"`
+	QueueMS float64    `json:"queue_ms"`
+	RunMS   float64    `json:"run_ms"`
+	Result  *JobResult `json:"result,omitempty"`
+}
+
+// Job is one submitted sampling job. All mutable state is guarded by mu;
+// samples is append-only, published under mu with cond broadcast so any
+// number of streamers can follow along.
+type Job struct {
+	id     string
+	spec   JobSpec
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	cond      sync.Cond
+	state     JobState
+	errMsg    string
+	samples   []Sample
+	result    *JobResult
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+func newJob(id string, spec JobSpec, now time.Time) *Job {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{id: id, spec: spec, ctx: ctx, cancel: cancel,
+		state: JobQueued, submitted: now}
+	j.cond.L = &j.mu
+	return j
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Spec returns the normalized spec the job runs under.
+func (j *Job) Spec() JobSpec { return j.spec }
+
+// Cancel requests cancellation: a queued job is finalized immediately, a
+// running job's context is cancelled and its workers abandon in-flight work
+// within one batch (see core.SampleNParallelCtx). It reports whether this
+// call finalized a still-queued job (so the caller can account it — runner
+// bookkeeping never sees such a job).
+func (j *Job) Cancel() bool {
+	j.cancel()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	j.state = JobCancelled
+	j.errMsg = context.Canceled.Error()
+	j.finished = time.Now()
+	j.cond.Broadcast()
+	return true
+}
+
+// Status returns a point-in-time snapshot of the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:      j.id,
+		State:   j.state,
+		Spec:    j.spec,
+		Error:   j.errMsg,
+		Samples: len(j.samples),
+		Result:  j.result,
+	}
+	if !j.started.IsZero() {
+		st.QueueMS = float64(j.started.Sub(j.submitted)) / float64(time.Millisecond)
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		st.RunMS = float64(end.Sub(j.started)) / float64(time.Millisecond)
+	} else if !j.finished.IsZero() {
+		st.QueueMS = float64(j.finished.Sub(j.submitted)) / float64(time.Millisecond)
+	}
+	return st
+}
+
+// publish appends one sample and wakes all streamers.
+func (j *Job) publish(s Sample) {
+	j.mu.Lock()
+	j.samples = append(j.samples, s)
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// wake re-evaluates every streamer's wait condition (used when a streaming
+// client disconnects, so its goroutine can notice and leave).
+func (j *Job) wake() {
+	j.mu.Lock()
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// waitSamples blocks until samples beyond from exist, the job is terminal,
+// or ctx is cancelled; it returns the new samples (safe to read unlocked —
+// the slice is append-only) and whether the job is terminal.
+func (j *Job) waitSamples(ctx context.Context, from int) ([]Sample, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for from >= len(j.samples) && !j.state.Terminal() && ctx.Err() == nil {
+		j.cond.Wait()
+	}
+	return j.samples[from:], j.state.Terminal()
+}
+
+// ErrQueueFull is returned by Submit when admission control rejects a job
+// because the bounded queue is at capacity.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// ErrClosed is returned by Submit after the manager has been closed.
+var ErrClosed = errors.New("serve: manager closed")
+
+// Config bounds the service's concurrency. Zero fields select defaults.
+type Config struct {
+	// QueueDepth bounds jobs admitted but not yet running (default 64).
+	// Submissions beyond it fail fast with ErrQueueFull — the service
+	// sheds load instead of building an unbounded backlog.
+	QueueDepth int
+	// Runners is the number of jobs run concurrently (default 2).
+	Runners int
+	// WorkerBudget is the global pool of estimation-worker slots carved up
+	// among running jobs (default 4·Runners). A job holds exactly its
+	// normalized Workers slots for its whole run — never a dynamic share,
+	// which would break per-(seed, workers) determinism.
+	WorkerBudget int
+	// MaxWorkersPerJob clamps a spec's Workers (default WorkerBudget).
+	MaxWorkersPerJob int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Runners <= 0 {
+		c.Runners = 2
+	}
+	if c.WorkerBudget <= 0 {
+		c.WorkerBudget = 4 * c.Runners
+	}
+	if c.MaxWorkersPerJob <= 0 || c.MaxWorkersPerJob > c.WorkerBudget {
+		c.MaxWorkersPerJob = c.WorkerBudget
+	}
+	return c
+}
+
+// Manager owns job admission, scheduling, and bookkeeping for one Engine.
+type Manager struct {
+	eng *Engine
+	cfg Config
+	met *Metrics
+
+	queue chan *Job
+
+	mu     sync.Mutex
+	cond   sync.Cond // worker-slot availability
+	free   int       // estimation-worker slots currently free
+	jobs   map[string]*Job
+	order  []string // submission order, for List
+	seq    int64
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewManager starts cfg.Runners runner goroutines over the engine.
+func NewManager(eng *Engine, cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		eng:   eng,
+		cfg:   cfg,
+		met:   NewMetrics(),
+		queue: make(chan *Job, cfg.QueueDepth),
+		free:  cfg.WorkerBudget,
+		jobs:  make(map[string]*Job),
+	}
+	m.cond.L = &m.mu
+	for i := 0; i < cfg.Runners; i++ {
+		m.wg.Add(1)
+		go m.runner()
+	}
+	return m
+}
+
+// Metrics returns the manager's metric registry (for the /metrics endpoint).
+func (m *Manager) Metrics() *Metrics { return m.met }
+
+// Engine returns the engine the manager schedules over.
+func (m *Manager) Engine() *Engine { return m.eng }
+
+// Config returns the effective (defaulted) configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// normalize fills spec defaults and validates; the result is the contract
+// the job's determinism is stated over.
+func (m *Manager) normalize(spec JobSpec) (JobSpec, error) {
+	if spec.Type == "" {
+		spec.Type = TypeSample
+	}
+	switch spec.Type {
+	case TypeSample, TypeEstimateMean, TypeWalkPath:
+	default:
+		return spec, fmt.Errorf("serve: unknown job type %q", spec.Type)
+	}
+	if spec.Design == "" {
+		spec.Design = "srw"
+	}
+	if _, err := walk.ByName(spec.Design); err != nil {
+		return spec, err
+	}
+	if spec.Count < 0 {
+		return spec, fmt.Errorf("serve: negative count %d", spec.Count)
+	}
+	if spec.Count == 0 {
+		spec.Count = 10
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 1
+	}
+	if spec.Workers <= 0 {
+		spec.Workers = 1
+	}
+	if spec.Workers > m.cfg.MaxWorkersPerJob {
+		spec.Workers = m.cfg.MaxWorkersPerJob
+	}
+	if spec.Start == nil {
+		if m.eng.defaultStart < 0 {
+			return spec, errors.New("serve: spec needs a start node (backend has no ground-truth view to pick one from)")
+		}
+		v := m.eng.defaultStart
+		spec.Start = &v
+	} else if *spec.Start < 0 || *spec.Start >= m.eng.NumNodes() {
+		return spec, fmt.Errorf("serve: start node %d out of range [0, %d)", *spec.Start, m.eng.NumNodes())
+	}
+	if spec.WalkLength <= 0 {
+		spec.WalkLength = m.eng.defaultWalkLen
+	}
+	if spec.CrawlHops <= 0 {
+		spec.CrawlHops = 2
+	}
+	if spec.Attr == "" {
+		spec.Attr = "degree"
+	}
+	return spec, nil
+}
+
+// Submit normalizes and enqueues a job. It fails fast with ErrQueueFull when
+// the bounded queue is at capacity (admission control), never blocking the
+// caller.
+func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	spec, err := m.normalize(spec)
+	if err != nil {
+		m.met.jobsRejected.Add(1)
+		return nil, err
+	}
+	// The closed check, the non-blocking enqueue, and the registration form
+	// one critical section: Close sets closed under the same lock before it
+	// ever closes the channel (so this send cannot race a closed queue),
+	// and a job is registered if and only if its enqueue succeeded (so a
+	// rejected submission can never corrupt the registry under concurrent
+	// submitters).
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	m.seq++
+	id := fmt.Sprintf("job-%06d", m.seq)
+	job := newJob(id, spec, time.Now())
+	select {
+	case m.queue <- job:
+		m.jobs[id] = job
+		m.order = append(m.order, id)
+		m.mu.Unlock()
+		m.met.jobsSubmitted.Add(1)
+		return job, nil
+	default:
+		m.mu.Unlock()
+		m.met.jobsRejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// Get returns the job with the given id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List returns snapshots of all known jobs in submission order.
+func (m *Manager) List() []JobStatus {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Cancel cancels the job with the given id; it reports whether the id was
+// known.
+func (m *Manager) Cancel(id string) bool {
+	j, ok := m.Get(id)
+	if !ok {
+		return false
+	}
+	if j.Cancel() {
+		m.met.jobsCancelled.Add(1)
+	}
+	return true
+}
+
+// Close stops accepting jobs, cancels everything in flight, and waits for
+// the runners to drain.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		if j.Cancel() {
+			m.met.jobsCancelled.Add(1)
+		}
+	}
+	close(m.queue)
+	m.wg.Wait()
+}
+
+// acquire blocks until n estimation-worker slots are free and takes them.
+// n is clamped to WorkerBudget at normalization, so acquisition always
+// eventually succeeds.
+func (m *Manager) acquire(n int) {
+	m.mu.Lock()
+	for m.free < n {
+		m.cond.Wait()
+	}
+	m.free -= n
+	m.mu.Unlock()
+}
+
+func (m *Manager) release(n int) {
+	m.mu.Lock()
+	m.free += n
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// runner is one of cfg.Runners job loops: pop, carve workers from the global
+// budget, run, release.
+func (m *Manager) runner() {
+	defer m.wg.Done()
+	for job := range m.queue {
+		job.mu.Lock()
+		if job.state != JobQueued { // cancelled while queued
+			job.mu.Unlock()
+			continue
+		}
+		job.state = JobRunning
+		job.started = time.Now()
+		job.mu.Unlock()
+
+		m.met.queueWait.Observe(job.started.Sub(job.submitted))
+		workers := job.spec.Workers
+		m.acquire(workers)
+		m.met.jobsInFlight.Add(1)
+		result, err := m.run(job)
+		m.met.jobsInFlight.Add(-1)
+		m.release(workers)
+		m.finish(job, result, err)
+	}
+}
+
+// finish finalizes a job's state, result, and metrics.
+func (m *Manager) finish(job *Job, result *JobResult, err error) {
+	job.mu.Lock()
+	job.finished = time.Now()
+	switch {
+	case err == nil:
+		job.state = JobDone
+		job.result = result
+		m.met.jobsDone.Add(1)
+	case errors.Is(err, context.Canceled):
+		job.state = JobCancelled
+		job.errMsg = err.Error()
+		m.met.jobsCancelled.Add(1)
+	default:
+		job.state = JobFailed
+		job.errMsg = err.Error()
+		m.met.jobsFailed.Add(1)
+	}
+	run := job.finished.Sub(job.started)
+	job.cond.Broadcast()
+	job.mu.Unlock()
+	m.met.runDur.Observe(run)
+}
+
+// run executes one job on the calling runner goroutine.
+func (m *Manager) run(job *Job) (*JobResult, error) {
+	spec := job.spec
+	d, err := walk.ByName(spec.Design)
+	if err != nil {
+		return nil, err
+	}
+	rng := fastrand.New(spec.Seed)
+	c := m.eng.NewClient(rng)
+	fleetBefore := c.TotalQueries()
+
+	onSample := func(ev core.SampleEvent) {
+		job.publish(Sample{Index: ev.Index, Node: ev.Node,
+			Steps: ev.Steps, Cost: ev.CostAfter})
+		m.met.samples.Add(1)
+	}
+
+	switch spec.Type {
+	case TypeWalkPath:
+		// One plain forward walk, streamed node by node, with a
+		// cancellation check per step.
+		u := *spec.Start
+		for i := 1; i <= spec.Count; i++ {
+			if err := job.ctx.Err(); err != nil {
+				return nil, err
+			}
+			u = d.Step(c, u, rng)
+			s := Sample{Index: i - 1, Node: u, Steps: i, Cost: c.TotalQueries()}
+			job.publish(s)
+			m.met.samples.Add(1)
+		}
+		return &JobResult{
+			Samples:      spec.Count,
+			Queries:      c.TotalQueries() - fleetBefore,
+			FleetQueries: c.TotalQueries(),
+		}, nil
+
+	case TypeSample, TypeEstimateMean:
+		cfg := core.Config{
+			Design:         d,
+			Start:          *spec.Start,
+			WalkLength:     spec.WalkLength,
+			UseWeighted:    !spec.NoWeighted,
+			BackwardReps:   spec.BackwardReps,
+			VarianceBudget: spec.VarianceBudget,
+		}
+		if !spec.NoCrawl {
+			// Reuse (or build-and-memoize) the crawl table instead of
+			// letting the sampler crawl per job.
+			ct, err := m.eng.crawlTable(c, d, *spec.Start, spec.CrawlHops)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Crawl = ct
+		}
+		s, err := core.NewSampler(c, cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		s.OnSample = onSample
+		var res walk.Result
+		if spec.Workers > 1 {
+			res, err = s.SampleNParallelCtx(job.ctx, spec.Count, spec.Workers)
+		} else {
+			res, err = s.SampleNCtx(job.ctx, spec.Count)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out := &JobResult{
+			Samples:        res.Len(),
+			Queries:        c.TotalQueries() - fleetBefore,
+			FleetQueries:   c.TotalQueries(),
+			AcceptanceRate: s.AcceptanceRate(),
+			Nodes:          res.Nodes,
+		}
+		if spec.Type == TypeEstimateMean {
+			if err := job.ctx.Err(); err != nil {
+				return nil, err
+			}
+			est, err := agg.EstimateMean(c, d, spec.Attr, res.Nodes)
+			if err != nil {
+				return nil, err
+			}
+			out.Estimate = &est
+			out.Queries = c.TotalQueries() - fleetBefore
+			out.FleetQueries = c.TotalQueries()
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("serve: unknown job type %q", spec.Type)
+}
+
+// trimID strips an optional "/stream" suffix and leading/trailing slashes
+// from a /v1/jobs/ subpath, returning (id, stream).
+func trimID(rest string) (string, bool) {
+	rest = strings.Trim(rest, "/")
+	if s, ok := strings.CutSuffix(rest, "/stream"); ok {
+		return s, true
+	}
+	return rest, false
+}

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket latency histogram in the Prometheus
+// exposition shape (cumulative le buckets, sum, count). Observations and
+// scrapes are lock-free: per-bucket atomic counters plus an atomic
+// nanosecond sum.
+type Histogram struct {
+	bounds []float64 // upper bounds in seconds, ascending; +Inf implicit
+	counts []atomic.Int64
+	total  atomic.Int64
+	sumNs  atomic.Int64
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds
+// (in seconds). An implicit +Inf bucket is appended.
+func NewHistogram(bounds ...float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// defaultBuckets spans 1 ms .. 30 s, wide enough for queue waits and runs
+// over simulated remote backends alike.
+func defaultBuckets() []float64 {
+	return []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+		0.25, 0.5, 1, 2.5, 5, 10, 30}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && s > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// writeProm emits the histogram in Prometheus text exposition format under
+// the given metric name, with one constant label pair.
+func (h *Histogram) writeProm(w io.Writer, name, labelKey, labelVal string) {
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", name, labelKey, labelVal, le, cum)
+	}
+	fmt.Fprintf(w, "%s_sum{%s=%q} %s\n", name, labelKey, labelVal,
+		formatFloat(float64(h.sumNs.Load())/1e9))
+	fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, labelKey, labelVal, h.total.Load())
+}
+
+func formatFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}
+
+// Metrics is the service's metric registry. All counters are atomic; the
+// cache/meter counters surfaced from internal/osn are read as atomic
+// snapshots at scrape time, so a scrape never takes a shard lock.
+type Metrics struct {
+	start time.Time
+
+	jobsSubmitted atomic.Int64
+	jobsRejected  atomic.Int64
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCancelled atomic.Int64
+	jobsInFlight  atomic.Int64
+	samples       atomic.Int64
+
+	queueWait *Histogram
+	runDur    *Histogram
+}
+
+// NewMetrics returns a zeroed registry with the default latency buckets.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		start:     time.Now(),
+		queueWait: NewHistogram(defaultBuckets()...),
+		runDur:    NewHistogram(defaultBuckets()...),
+	}
+}
+
+// Samples returns the number of samples produced since start.
+func (m *Metrics) Samples() int64 { return m.samples.Load() }
+
+// Uptime returns the time since the registry was created.
+func (m *Metrics) Uptime() time.Duration { return time.Since(m.start) }
+
+// WriteProm writes the full metric set in Prometheus text exposition format:
+// job counters, sample throughput, the engine's cache meters (atomic
+// snapshots from internal/osn), simulated-backend meters when present, and
+// the per-stage latency histograms.
+func (m *Metrics) WriteProm(w io.Writer, eng *Engine) {
+	up := m.Uptime().Seconds()
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, formatFloat(v))
+	}
+
+	counter("walknotwait_jobs_submitted_total", "Jobs admitted to the queue.", m.jobsSubmitted.Load())
+	counter("walknotwait_jobs_rejected_total", "Jobs refused by admission control or validation.", m.jobsRejected.Load())
+	fmt.Fprintf(w, "# HELP walknotwait_jobs_finished_total Jobs finished, by terminal state.\n")
+	fmt.Fprintf(w, "# TYPE walknotwait_jobs_finished_total counter\n")
+	fmt.Fprintf(w, "walknotwait_jobs_finished_total{state=\"done\"} %d\n", m.jobsDone.Load())
+	fmt.Fprintf(w, "walknotwait_jobs_finished_total{state=\"failed\"} %d\n", m.jobsFailed.Load())
+	fmt.Fprintf(w, "walknotwait_jobs_finished_total{state=\"cancelled\"} %d\n", m.jobsCancelled.Load())
+	gauge("walknotwait_jobs_inflight", "Jobs currently running.", float64(m.jobsInFlight.Load()))
+
+	samples := m.samples.Load()
+	counter("walknotwait_samples_total", "Accepted samples produced across all jobs.", samples)
+	rate := 0.0
+	if up > 0 {
+		rate = float64(samples) / up
+	}
+	gauge("walknotwait_samples_per_second", "Accepted samples per second of uptime.", rate)
+	gauge("walknotwait_uptime_seconds", "Daemon uptime.", up)
+
+	cs := eng.CacheStats()
+	counter("walknotwait_queries_charged_total", "Fleet-wide query cost (the paper's cost axis).", cs.Queries)
+	counter("walknotwait_cache_calls_total", "Interface calls, cached or not.", cs.Calls)
+	gauge("walknotwait_cache_unique_nodes", "Distinct nodes fetched into the shared cache.", float64(cs.UniqueNodes))
+	gauge("walknotwait_cache_hit_ratio", "Fraction of interface calls served without a new charge.", cs.HitRatio())
+
+	if sim := eng.Sim(); sim != nil {
+		counter("walknotwait_backend_round_trips_total", "Simulated remote round trips.", sim.RoundTrips())
+		gauge("walknotwait_backend_simulated_wait_seconds_total", "Total simulated latency charged.", sim.SimulatedWait().Seconds())
+	}
+
+	fmt.Fprintf(w, "# HELP walknotwait_stage_seconds Per-stage job latency.\n")
+	fmt.Fprintf(w, "# TYPE walknotwait_stage_seconds histogram\n")
+	m.queueWait.writeProm(w, "walknotwait_stage_seconds", "stage", "queue")
+	m.runDur.writeProm(w, "walknotwait_stage_seconds", "stage", "run")
+}

@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fastrand"
+	"repro/internal/gen"
+	"repro/internal/osn"
+	"repro/internal/walk"
+)
+
+func testNetwork(t *testing.T) *osn.Network {
+	t.Helper()
+	g := gen.BarabasiAlbert(300, 3, rand.New(rand.NewSource(42)))
+	return osn.NewNetwork(g)
+}
+
+func waitJob(t *testing.T, j *Job) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := j.Status()
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish: %+v", j.ID(), j.Status())
+	return JobStatus{}
+}
+
+// Two identical submissions must return identical sample sequences — the
+// second rides the warm cache and the memoized crawl table, which may only
+// change costs, never data.
+func TestJobDeterminismWarmVsCold(t *testing.T) {
+	eng := NewEngine(testNetwork(t))
+	m := NewManager(eng, Config{Runners: 1, WorkerBudget: 4})
+	defer m.Close()
+
+	spec := JobSpec{Type: TypeSample, Count: 20, Seed: 5, Workers: 2}
+	a, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stA := waitJob(t, a)
+	if stA.State != JobDone {
+		t.Fatalf("cold job: %+v", stA)
+	}
+	b, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB := waitJob(t, b)
+	if stB.State != JobDone {
+		t.Fatalf("warm job: %+v", stB)
+	}
+	if len(stA.Result.Nodes) != 20 || len(stB.Result.Nodes) != 20 {
+		t.Fatalf("sample counts: cold %d warm %d", len(stA.Result.Nodes), len(stB.Result.Nodes))
+	}
+	for i := range stA.Result.Nodes {
+		if stA.Result.Nodes[i] != stB.Result.Nodes[i] {
+			t.Fatalf("sample %d differs: cold %d warm %d", i, stA.Result.Nodes[i], stB.Result.Nodes[i])
+		}
+	}
+	// The warm job replays the cold job's RNG streams exactly, so it touches
+	// exactly the nodes the cold job already paid for: zero new charges.
+	if stB.Result.Queries >= stA.Result.Queries {
+		t.Fatalf("warm job not cheaper: cold %d warm %d", stA.Result.Queries, stB.Result.Queries)
+	}
+	if stB.Result.Queries != 0 {
+		t.Fatalf("warm replay charged %d new nodes, want 0", stB.Result.Queries)
+	}
+}
+
+// A service job with workers=1 must be bit-identical to driving the core
+// sampler directly with the same parameters: crawl-table injection and the
+// shared cache are invisible to the sample sequence.
+func TestJobMatchesDirectSampler(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, rand.New(rand.NewSource(42)))
+	net := osn.NewNetwork(g)
+	eng := NewEngine(net)
+	m := NewManager(eng, Config{Runners: 1})
+	defer m.Close()
+
+	const seed, count = 9, 15
+	job, err := m.Submit(JobSpec{Count: count, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, job)
+	if st.State != JobDone {
+		t.Fatalf("job: %+v", st)
+	}
+
+	// Direct run over a fresh network with the same graph and the engine's
+	// normalized parameters.
+	net2 := osn.NewNetwork(g)
+	rng := fastrand.New(seed)
+	c := osn.NewClient(net2, osn.CostUniqueNodes, rng)
+	d, _ := walk.ByName("srw")
+	s, err := core.NewSampler(c, core.Config{
+		Design:      d,
+		Start:       *job.Spec().Start,
+		WalkLength:  job.Spec().WalkLength,
+		UseCrawl:    true,
+		CrawlHops:   job.Spec().CrawlHops,
+		UseWeighted: true,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.SampleN(count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Nodes {
+		if res.Nodes[i] != st.Result.Nodes[i] {
+			t.Fatalf("sample %d differs: direct %d service %d", i, res.Nodes[i], st.Result.Nodes[i])
+		}
+	}
+}
+
+// Cancelling a running job must flip it to cancelled and stop fleet-meter
+// growth within one batch.
+func TestCancelStopsCharging(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 3, rand.New(rand.NewSource(7)))
+	// Simulated remote latency slows the job enough to cancel it mid-run.
+	sim := osn.NewRemoteSim(osn.NewMemBackend(g), 500*time.Microsecond, 0, 8)
+	eng := NewEngine(osn.NewNetworkOn(sim))
+	m := NewManager(eng, Config{Runners: 1, WorkerBudget: 4})
+	defer m.Close()
+
+	job, err := m.Submit(JobSpec{Count: 100000, Seed: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let it produce at least one sample so cancellation lands mid-run.
+	deadline := time.Now().Add(30 * time.Second)
+	for job.Status().Samples == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if job.Status().Samples == 0 {
+		t.Fatal("job produced no samples before deadline")
+	}
+	m.Cancel(job.ID())
+	st := waitJob(t, job)
+	if st.State != JobCancelled {
+		t.Fatalf("state %s, want cancelled (err %q)", st.State, st.Error)
+	}
+	// The fleet meter must be quiet once the job has settled.
+	q0 := eng.CacheStats().Queries
+	time.Sleep(100 * time.Millisecond)
+	if q1 := eng.CacheStats().Queries; q1 != q0 {
+		t.Fatalf("queries still growing after cancel: %d -> %d", q0, q1)
+	}
+}
+
+// Admission control: with the runner pinned on a long job, the bounded queue
+// accepts exactly QueueDepth more submissions and sheds the rest.
+func TestAdmissionControl(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 3, rand.New(rand.NewSource(7)))
+	sim := osn.NewRemoteSim(osn.NewMemBackend(g), time.Millisecond, 0, 8)
+	eng := NewEngine(osn.NewNetworkOn(sim))
+	m := NewManager(eng, Config{Runners: 1, QueueDepth: 2, WorkerBudget: 2})
+	defer m.Close()
+
+	blocker, err := m.Submit(JobSpec{Count: 1000000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the runner has popped the blocker, so the queue is empty.
+	deadline := time.Now().Add(10 * time.Second)
+	for blocker.Status().State == JobQueued && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if blocker.Status().State != JobRunning {
+		t.Fatalf("blocker state %s", blocker.Status().State)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := m.Submit(JobSpec{Count: 1, Seed: int64(10 + i)}); err != nil {
+			t.Fatalf("queued submit %d: %v", i, err)
+		}
+	}
+	if _, err := m.Submit(JobSpec{Count: 1, Seed: 99}); err != ErrQueueFull {
+		t.Fatalf("overflow submit: err %v, want ErrQueueFull", err)
+	}
+	m.Cancel(blocker.ID())
+}
+
+// Worker counts are clamped to the per-job budget at admission, and the
+// normalized spec (the determinism contract) reflects the clamp.
+func TestWorkerClamp(t *testing.T) {
+	eng := NewEngine(testNetwork(t))
+	m := NewManager(eng, Config{Runners: 1, WorkerBudget: 4, MaxWorkersPerJob: 3})
+	defer m.Close()
+	job, err := m.Submit(JobSpec{Count: 5, Seed: 2, Workers: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := job.Spec().Workers; got != 3 {
+		t.Fatalf("normalized workers %d, want 3", got)
+	}
+	if st := waitJob(t, job); st.State != JobDone {
+		t.Fatalf("job: %+v", st)
+	}
+}
+
+// estimate-mean jobs attach the design-appropriate mean estimate.
+func TestEstimateMeanJob(t *testing.T) {
+	net := testNetwork(t)
+	eng := NewEngine(net)
+	m := NewManager(eng, Config{Runners: 1})
+	defer m.Close()
+	job, err := m.Submit(JobSpec{Type: TypeEstimateMean, Count: 50, Seed: 11, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, job)
+	if st.State != JobDone || st.Result.Estimate == nil {
+		t.Fatalf("job: %+v", st)
+	}
+	truth, err := net.TrueMean(osn.AttrDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := *st.Result.Estimate
+	if got <= 0 || got > 10*truth {
+		t.Fatalf("estimate %v wildly off truth %v", got, truth)
+	}
+}
+
+// walk-path jobs stream every visited node and respect cancellation.
+func TestWalkPathJob(t *testing.T) {
+	eng := NewEngine(testNetwork(t))
+	m := NewManager(eng, Config{Runners: 1})
+	defer m.Close()
+	job, err := m.Submit(JobSpec{Type: TypeWalkPath, Count: 25, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, job)
+	if st.State != JobDone || st.Samples != 25 {
+		t.Fatalf("job: %+v", st)
+	}
+}

@@ -1,6 +1,7 @@
 package walknotwait
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/osn"
@@ -85,6 +86,56 @@ func NewRemoteSim(inner Backend, latency, jitter time.Duration, fanout int) *Rem
 // NewNetworkOn wraps any access backend as a simulated online social
 // network.
 func NewNetworkOn(be Backend, opts ...NetworkOption) *Network { return osn.NewNetworkOn(be, opts...) }
+
+// OpenBackend opens a graph file as an access backend by name — the shared
+// selection logic of the wesample and weserve commands. kind is "mem" (CSR
+// inputs are decoded to the heap, keeping embedded attribute tables so mem
+// and disk present the same network for the same file), "disk" (memory-map
+// a binary CSR in place), or "sim" (the mem/disk base wrapped with
+// simulated per-round-trip latency ± jitter over a fanout-wide connection
+// pool). Binary CSR files are auto-detected; plain files are read as edge
+// lists. The returned cleanup releases any file mapping — call it once
+// sampling is done.
+func OpenBackend(path, kind string, latency, jitter time.Duration, fanout int) (Backend, func(), error) {
+	noop := func() {}
+	base := func() (Backend, func(), error) {
+		if IsCSRFile(path) {
+			be, m, err := OpenDiskBackend(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			return be, func() { m.Close() }, nil
+		}
+		g, err := LoadEdgeList(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return NewMemBackend(g), noop, nil
+	}
+	switch kind {
+	case "mem":
+		if IsCSRFile(path) {
+			g, attrs, err := LoadCSR(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			return NewMemBackendWithAttrs(g, attrs), noop, nil
+		}
+		return base()
+	case "disk":
+		if !IsCSRFile(path) {
+			return nil, nil, fmt.Errorf("-backend disk needs a binary CSR input (generate one with: wegen -format csr)")
+		}
+		return base()
+	case "sim":
+		inner, cleanup, err := base()
+		if err != nil {
+			return nil, nil, err
+		}
+		return NewRemoteSim(inner, latency, jitter, fanout), cleanup, nil
+	}
+	return nil, nil, fmt.Errorf("unknown backend %q (want mem, disk or sim)", kind)
+}
 
 // NewClient creates a metered client over a network. rng may be a
 // *rand.Rand or a NewFastRNG generator.

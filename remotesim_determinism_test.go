@@ -1,0 +1,96 @@
+package walknotwait_test
+
+// RemoteSim determinism property (ISSUE 4 satellite): at fixed (seed,
+// fanout, jitter) a repeated run must reproduce not only the sample
+// sequence but the backend's timing meters — the round-trip count and the
+// total simulated latency. The jitter stream is derived from an atomic
+// call counter through a splitmix64 finalizer, so the total latency is a
+// pure function of the round-trip count (the sum over positions 1..N is
+// scheduling-independent), and for a single client the round-trip count is
+// fixed by its deterministic access pattern — including batched requests,
+// which charge exactly one round trip per element however the fanout
+// connection pool schedules them.
+//
+// The timing equality is asserted for single-client runs only: a parallel
+// worker fleet can race two concurrent misses of the same node to the
+// backend (the query meters dedupe exactly — property-tested in
+// internal/osn — but the wire sees both), so its round-trip count is
+// scheduling-dependent by design. Parallel runs assert the sample-sequence
+// half of the contract.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	wnw "repro"
+)
+
+func remoteSimRun(t *testing.T, seed int64, fanout int, jitter time.Duration, workers int) ([]int, int64, time.Duration) {
+	t.Helper()
+	g := wnw.NewBarabasiAlbert(800, 3, rand.New(rand.NewSource(42)))
+	sim := wnw.NewRemoteSim(wnw.NewMemBackend(g), 300*time.Microsecond, jitter, fanout)
+	net := wnw.NewNetworkOn(sim)
+	rng := rand.New(rand.NewSource(seed))
+	c := wnw.NewClient(net, wnw.CostUniqueNodes, rng)
+	s, err := wnw.NewWalkEstimate(c, wnw.WEConfig{
+		Design:      wnw.SimpleRandomWalk(),
+		Start:       0,
+		WalkLength:  9,
+		UseCrawl:    true,
+		UseWeighted: true,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res wnw.SampleResult
+	if workers > 1 {
+		res, err = s.SampleNParallel(12, workers)
+	} else {
+		res, err = s.SampleN(12)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Nodes, sim.RoundTrips(), sim.SimulatedWait()
+}
+
+func TestRemoteSimDeterministicAcrossRuns(t *testing.T) {
+	cases := []struct {
+		name    string
+		seed    int64
+		fanout  int
+		jitter  time.Duration
+		workers int
+		timing  bool // assert round-trip/latency equality too
+	}{
+		{"sequential", 7, 8, 100 * time.Microsecond, 1, true},
+		{"sequential-no-jitter-wide-fanout", 3, 32, 0, 1, true},
+		{"parallel", 7, 8, 100 * time.Microsecond, 4, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			nodes0, rtts0, wait0 := remoteSimRun(t, tc.seed, tc.fanout, tc.jitter, tc.workers)
+			for rep := 1; rep < 3; rep++ {
+				nodes, rtts, wait := remoteSimRun(t, tc.seed, tc.fanout, tc.jitter, tc.workers)
+				if len(nodes) != len(nodes0) {
+					t.Fatalf("rep %d: %d samples vs %d", rep, len(nodes), len(nodes0))
+				}
+				for i := range nodes0 {
+					if nodes[i] != nodes0[i] {
+						t.Fatalf("rep %d: sample %d = %d, want %d", rep, i, nodes[i], nodes0[i])
+					}
+				}
+				if tc.timing && rtts != rtts0 {
+					t.Fatalf("rep %d: %d round trips, want %d", rep, rtts, rtts0)
+				}
+				if tc.timing && wait != wait0 {
+					t.Fatalf("rep %d: simulated wait %v, want %v", rep, wait, wait0)
+				}
+			}
+			if rtts0 == 0 || wait0 == 0 {
+				t.Fatalf("degenerate run: %d round trips, %v wait", rtts0, wait0)
+			}
+		})
+	}
+}

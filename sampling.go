@@ -1,6 +1,7 @@
 package walknotwait
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/core"
@@ -66,8 +67,17 @@ type WEConfig = core.Config
 // Sample/SampleN, it offers SampleNParallel(n, workers), which fans the
 // backward estimates across a worker pool over a shared neighbor cache and
 // is deterministic per (seed, workers); see DESIGN.md for the concurrency
-// model.
+// model. SampleNCtx/SampleNParallelCtx add cancellation (a cancelled run
+// stops charging queries within one batch and returns the context's error;
+// completed runs are bit-identical to the context-free forms), and the
+// OnSample hook streams accepted samples as they are produced — the two
+// primitives the serving layer builds on.
 type WESampler = core.Sampler
+
+// WESampleEvent describes one accepted sample delivered to the OnSample
+// hook: index, node, walk steps since the previous acceptance, and the
+// fleet-wide query cost right after it.
+type WESampleEvent = core.SampleEvent
 
 // NewWalkEstimate builds a WALK-ESTIMATE sampler over a metered client.
 func NewWalkEstimate(c *Client, cfg WEConfig, rng *rand.Rand) (*WESampler, error) {
@@ -91,6 +101,14 @@ func EstimateAll(e *Estimator, nodes []int, t, baseReps, extraBudget int, rng *r
 // scheduling; see DESIGN.md.
 func EstimateAllParallel(e *Estimator, nodes []int, t, baseReps, extraBudget, workers int, seed int64) (map[int]float64, error) {
 	return core.EstimateAllParallel(e, nodes, t, baseReps, extraBudget, workers, seed)
+}
+
+// EstimateAllParallelCtx is EstimateAllParallel with cancellation: once ctx
+// is cancelled, workers abandon their remaining repetitions and the call
+// returns ctx's error. Completed calls are bit-identical to
+// EstimateAllParallel.
+func EstimateAllParallelCtx(ctx context.Context, e *Estimator, nodes []int, t, baseReps, extraBudget, workers int, seed int64) (map[int]float64, error) {
+	return core.EstimateAllParallelCtx(ctx, e, nodes, t, baseReps, extraBudget, workers, seed)
 }
 
 // CrawlTable holds exact step-τ probabilities inside the crawled h-hop ball

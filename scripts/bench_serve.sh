@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Serving-throughput benchmark (ISSUE 4): boots the weserve daemon on a
+# generated CSR graph over the simulated remote backend, drives it with two
+# identical weload bursts — the first against a cold cache, the second
+# against the cache the first burst warmed — and records both into
+# BENCH_serve.json.
+#
+# The acceptance criteria this record demonstrates:
+#   - the daemon is healthy and produced a non-zero samples/sec;
+#   - the warm-cache burst has strictly higher samples/sec than the
+#     cold-start burst (the amortization a resident service exists for).
+#
+# Usage: scripts/bench_serve.sh [jobs] [concurrency]   (defaults 8, 2)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-8}"
+CONC="${2:-2}"
+OUT="BENCH_serve.json"
+ADDR="127.0.0.1:17117"
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/" ./cmd/wegen ./cmd/weserve ./cmd/weload
+
+"$WORK/wegen" -model ba -n 3000 -m 3 -seed 7 -format csr -out "$WORK/g.csr"
+
+# Simulated remote latency makes cache warmth measurable as wall-clock: the
+# cold burst pays a round trip per unique node, the warm burst rides the
+# daemon's long-lived shared cache.
+"$WORK/weserve" -in "$WORK/g.csr" -backend sim -latency 2ms -jitter 500us \
+  -addr "$ADDR" -runners 2 -worker-budget 4 >"$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+
+"$WORK/weload" -addr "$ADDR" -wait 15s -jobs "$JOBS" -concurrency "$CONC" \
+  -count 15 -workers 2 -label cold -out "$WORK/cold.json"
+"$WORK/weload" -addr "$ADDR" -jobs "$JOBS" -concurrency "$CONC" \
+  -count 15 -workers 2 -label warm -out "$WORK/warm.json"
+
+python3 - "$WORK" "$OUT" "$ADDR" <<'EOF'
+import json, sys, urllib.request
+
+work, out, addr = sys.argv[1], sys.argv[2], sys.argv[3]
+cold = json.load(open(f"{work}/cold.json"))
+warm = json.load(open(f"{work}/warm.json"))
+
+with urllib.request.urlopen(f"http://{addr}/healthz", timeout=5) as r:
+    health = json.load(r)
+if not health.get("ok"):
+    raise SystemExit(f"daemon unhealthy: {health}")
+
+metrics = {}
+with urllib.request.urlopen(f"http://{addr}/metrics", timeout=5) as r:
+    for line in r.read().decode().splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        name, _, value = line.rpartition(" ")
+        metrics[name] = float(value)
+
+sps = metrics.get("walknotwait_samples_per_second", 0.0)
+if sps <= 0:
+    raise SystemExit(f"daemon reports no throughput: samples_per_second={sps}")
+if cold["errors"] or warm["errors"]:
+    raise SystemExit(f"load errors: cold={cold['errors']} warm={warm['errors']}")
+if warm["samples_per_sec"] <= cold["samples_per_sec"]:
+    raise SystemExit(
+        f"warm not faster: {warm['samples_per_sec']:.1f} <= "
+        f"{cold['samples_per_sec']:.1f} samples/sec")
+if warm["fleet_queries_after"] < cold["fleet_queries_after"]:
+    raise SystemExit("fleet query meter went backwards")
+
+record = {
+    "graph": {"model": "ba", "n": 3000, "m": 3, "seed": 7},
+    "backend": {"kind": "sim", "latency_ms": 2, "jitter_ms": 0.5},
+    "daemon": {
+        "samples_total": metrics.get("walknotwait_samples_total"),
+        "samples_per_second": sps,
+        "queries_charged_total": metrics.get("walknotwait_queries_charged_total"),
+        "cache_hit_ratio": metrics.get("walknotwait_cache_hit_ratio"),
+        "backend_round_trips_total": metrics.get("walknotwait_backend_round_trips_total"),
+    },
+    "cold": cold,
+    "warm": warm,
+    "warm_speedup": warm["samples_per_sec"] / cold["samples_per_sec"],
+}
+json.dump(record, open(out, "w"), indent=2)
+print(f"cold {cold['samples_per_sec']:.1f} samples/s, "
+      f"warm {warm['samples_per_sec']:.1f} samples/s "
+      f"({record['warm_speedup']:.1f}x), wrote {out}")
+EOF

@@ -1,0 +1,59 @@
+package walknotwait
+
+import (
+	"net/http"
+
+	"repro/internal/serve"
+)
+
+// This file is the facade over the sampling-as-a-service layer
+// (internal/serve): a resident engine that keeps one shared neighbor cache
+// and the crawl tables hot across jobs, a manager with admission control
+// and a global estimation-worker budget, and an HTTP API (the weserve
+// daemon is a thin main over these).
+
+// ServiceEngine is the job-independent shared state of a sampling service:
+// the network, the long-lived shared cache every job's clients attach to,
+// and the crawl-table memo.
+type ServiceEngine = serve.Engine
+
+// ServiceManager owns job admission, scheduling, and bookkeeping over a
+// ServiceEngine.
+type ServiceManager = serve.Manager
+
+// ServiceConfig bounds a manager's concurrency: queue depth (admission
+// control), concurrent runners, the global worker budget, and the per-job
+// worker clamp.
+type ServiceConfig = serve.Config
+
+// ServiceJobSpec describes one sampling job; zero fields select documented
+// defaults, and the normalized spec is the job's determinism contract.
+type ServiceJobSpec = serve.JobSpec
+
+// ServiceJob is one submitted job: status snapshots, sample streaming, and
+// cancellation.
+type ServiceJob = serve.Job
+
+// ServiceJobStatus is a point-in-time JSON-ready snapshot of a job.
+type ServiceJobStatus = serve.JobStatus
+
+// ServiceMetrics is the service metric registry behind /metrics.
+type ServiceMetrics = serve.Metrics
+
+// ErrQueueFull is returned by ServiceManager.Submit when admission control
+// rejects a job because the bounded queue is at capacity.
+var ErrQueueFull = serve.ErrQueueFull
+
+// NewServiceEngine wraps a loaded network as resident service state.
+func NewServiceEngine(net *Network) *ServiceEngine { return serve.NewEngine(net) }
+
+// NewServiceManager starts a job manager (and its runner goroutines) over
+// the engine. Close it to drain.
+func NewServiceManager(eng *ServiceEngine, cfg ServiceConfig) *ServiceManager {
+	return serve.NewManager(eng, cfg)
+}
+
+// NewServiceHandler returns the service HTTP API: POST/GET/DELETE under
+// /v1/jobs (with NDJSON sample streaming), /healthz, and a Prometheus-text
+// /metrics endpoint.
+func NewServiceHandler(m *ServiceManager) http.Handler { return serve.Handler(m) }
