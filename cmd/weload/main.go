@@ -79,6 +79,19 @@ type record struct {
 		P99  float64 `json:"p99"`
 		Max  float64 `json:"max"`
 	} `json:"latency_ms"`
+	// SampleLatencyMS summarizes per-sample stream timestamps: for every
+	// sample line, the time from its job's submission to the line's arrival
+	// on the NDJSON stream. Where LatencyMS describes whole jobs, this
+	// describes the latency an end user streaming results actually
+	// experiences per sample (first samples arrive long before the job
+	// finishes).
+	SampleLatencyMS struct {
+		Mean float64 `json:"mean"`
+		P50  float64 `json:"p50"`
+		P95  float64 `json:"p95"`
+		P99  float64 `json:"p99"`
+		Max  float64 `json:"max"`
+	} `json:"sample_latency_ms"`
 	FleetQueries int64 `json:"fleet_queries_after"`
 }
 
@@ -105,13 +118,14 @@ func run(addr string, jobs, conc, count, workers int, design, jobType string,
 	}
 
 	var (
-		next      atomic.Int64
-		samples   atomic.Int64
-		errs      atomic.Int64
-		fleetQ    atomic.Int64
-		mu        sync.Mutex
-		latencies []float64
-		wg        sync.WaitGroup
+		next       atomic.Int64
+		samples    atomic.Int64
+		errs       atomic.Int64
+		fleetQ     atomic.Int64
+		mu         sync.Mutex
+		latencies  []float64
+		sampleLats []float64
+		wg         sync.WaitGroup
 	)
 	began := time.Now()
 	for w := 0; w < conc; w++ {
@@ -128,7 +142,7 @@ func run(addr string, jobs, conc, count, workers int, design, jobType string,
 					s = seed
 				}
 				t0 := time.Now()
-				n, fq, err := runJob(client, base, jobType, design, count, workers, s)
+				n, fq, stamps, err := runJob(client, base, jobType, design, count, workers, s)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "weload: job %d: %v\n", i, err)
 					errs.Add(1)
@@ -143,6 +157,7 @@ func run(addr string, jobs, conc, count, workers int, design, jobType string,
 				d := time.Since(t0)
 				mu.Lock()
 				latencies = append(latencies, float64(d)/float64(time.Millisecond))
+				sampleLats = append(sampleLats, stamps...)
 				mu.Unlock()
 			}
 		}()
@@ -174,6 +189,18 @@ func run(addr string, jobs, conc, count, workers int, design, jobType string,
 		rec.LatencyMS.P99 = percentile(latencies, 0.99)
 		rec.LatencyMS.Max = latencies[len(latencies)-1]
 	}
+	sort.Float64s(sampleLats)
+	if len(sampleLats) > 0 {
+		sum := 0.0
+		for _, v := range sampleLats {
+			sum += v
+		}
+		rec.SampleLatencyMS.Mean = sum / float64(len(sampleLats))
+		rec.SampleLatencyMS.P50 = percentile(sampleLats, 0.50)
+		rec.SampleLatencyMS.P95 = percentile(sampleLats, 0.95)
+		rec.SampleLatencyMS.P99 = percentile(sampleLats, 0.99)
+		rec.SampleLatencyMS.Max = sampleLats[len(sampleLats)-1]
+	}
 
 	enc, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -188,9 +215,11 @@ func run(addr string, jobs, conc, count, workers int, design, jobType string,
 }
 
 // runJob submits one job and follows its NDJSON stream to completion,
-// returning the number of samples produced and the fleet-wide query meter
-// reported by the terminal status.
-func runJob(client *http.Client, base, jobType, design string, count, workers int, seed int64) (int64, int64, error) {
+// returning the number of samples produced, the fleet-wide query meter
+// reported by the terminal status, and the per-sample stream timestamps —
+// for each sample line, milliseconds from the job's submission to the
+// line's arrival on the stream.
+func runJob(client *http.Client, base, jobType, design string, count, workers int, seed int64) (int64, int64, []float64, error) {
 	spec := map[string]any{
 		"type":    jobType,
 		"design":  design,
@@ -199,28 +228,30 @@ func runJob(client *http.Client, base, jobType, design string, count, workers in
 		"workers": workers,
 	}
 	body, _ := json.Marshal(spec)
+	submitted := time.Now()
 	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	sub, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
-		return 0, 0, fmt.Errorf("submit: %d %s", resp.StatusCode, bytes.TrimSpace(sub))
+		return 0, 0, nil, fmt.Errorf("submit: %d %s", resp.StatusCode, bytes.TrimSpace(sub))
 	}
 	var st struct {
 		ID string `json:"id"`
 	}
 	if err := json.Unmarshal(sub, &st); err != nil {
-		return 0, 0, fmt.Errorf("submit response: %v", err)
+		return 0, 0, nil, fmt.Errorf("submit response: %v", err)
 	}
 
 	resp, err = client.Get(base + "/v1/jobs/" + st.ID + "/stream")
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	defer resp.Body.Close()
 	var n int64
+	stamps := make([]float64, 0, count)
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	var terminal struct {
@@ -243,18 +274,19 @@ func runJob(client *http.Client, base, jobType, design string, count, workers in
 			continue
 		}
 		n++
+		stamps = append(stamps, float64(time.Since(submitted))/float64(time.Millisecond))
 	}
 	if err := sc.Err(); err != nil {
-		return n, 0, err
+		return n, 0, stamps, err
 	}
 	if terminal.State != "done" {
-		return n, 0, fmt.Errorf("job %s ended %q: %s", st.ID, terminal.State, terminal.Error)
+		return n, 0, stamps, fmt.Errorf("job %s ended %q: %s", st.ID, terminal.State, terminal.Error)
 	}
 
 	// One status read for the fleet meter after the job.
 	resp, err = client.Get(base + "/v1/jobs/" + st.ID)
 	if err != nil {
-		return n, 0, nil // stream already succeeded; meter is best-effort
+		return n, 0, stamps, nil // stream already succeeded; meter is best-effort
 	}
 	defer resp.Body.Close()
 	var full struct {
@@ -263,9 +295,9 @@ func runJob(client *http.Client, base, jobType, design string, count, workers in
 		} `json:"result"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&full); err == nil && full.Result != nil {
-		return n, full.Result.FleetQueries, nil
+		return n, full.Result.FleetQueries, stamps, nil
 	}
-	return n, 0, nil
+	return n, 0, stamps, nil
 }
 
 func waitHealthy(client *http.Client, base string, wait time.Duration) error {

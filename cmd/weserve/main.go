@@ -43,6 +43,8 @@ func main() {
 		runners = flag.Int("runners", 2, "jobs run concurrently")
 		budget  = flag.Int("worker-budget", 0, "global estimation-worker pool (0 = 4x runners)")
 		maxWork = flag.Int("max-workers-per-job", 0, "per-job worker clamp (0 = the whole budget)")
+		retain  = flag.Duration("retention", 0, "how long finished job records stay queryable (0 = 15m, negative disables eviction)")
+		sweep   = flag.Duration("sweep", 0, "retention sweep interval (0 = retention/10, clamped to [1s,1m])")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -50,14 +52,15 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(*in, *backend, *latency, *jitter, *fanout, *addr,
-		*queue, *runners, *budget, *maxWork); err != nil {
+		*queue, *runners, *budget, *maxWork, *retain, *sweep); err != nil {
 		fmt.Fprintln(os.Stderr, "weserve:", err)
 		os.Exit(1)
 	}
 }
 
 func run(in, backendName string, latency, jitter time.Duration, fanout int,
-	addr string, queue, runners, budget, maxWork int) error {
+	addr string, queue, runners, budget, maxWork int,
+	retention, sweep time.Duration) error {
 	be, cleanup, err := wnw.OpenBackend(in, backendName, latency, jitter, fanout)
 	if err != nil {
 		return err
@@ -71,10 +74,12 @@ func run(in, backendName string, latency, jitter time.Duration, fanout int,
 		Runners:          runners,
 		WorkerBudget:     budget,
 		MaxWorkersPerJob: maxWork,
+		Retention:        retention,
+		SweepInterval:    sweep,
 	})
 	cfg := mgr.Config()
-	log.Printf("weserve: graph %q (%d nodes) backend=%s addr=%s runners=%d worker-budget=%d queue=%d",
-		in, net.NumNodes(), backendName, addr, cfg.Runners, cfg.WorkerBudget, cfg.QueueDepth)
+	log.Printf("weserve: graph %q (%d nodes) backend=%s addr=%s runners=%d worker-budget=%d queue=%d retention=%v",
+		in, net.NumNodes(), backendName, addr, cfg.Runners, cfg.WorkerBudget, cfg.QueueDepth, cfg.Retention)
 
 	srv := &http.Server{Addr: addr, Handler: serve.Handler(mgr)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -189,30 +189,23 @@ func (e *Estimator) backStep(node, step int, nbr []int32, rng fastrand.RNG) (w i
 	// Any full-support pick distribution keeps the estimator unbiased via
 	// the p(w→u)/π_pick(w) correction; the tempering only controls
 	// variance. The worst-case per-step weight inflation is 1/ε.
-	// Hit rows are dense by id but sparse in content, so candidates are
-	// tested against the cache-resident nonzero bitset first; the wide
-	// counter row is only dereferenced for candidates with hits (a set bit
-	// guarantees the row index is in range).
+	// Hit rows are paged and sparse in content: each candidate probe is a
+	// page-directory index plus a test of the page's cache-resident nonzero
+	// bitset, and only candidates with hits dereference the wide counter
+	// array (HistRow.Hits).
 	row := e.Hist.Row(step - 1)
-	bits := e.Hist.RowBits(step - 1)
 	if cap(e.scratch) < total {
 		e.scratch = make([]float64, total+total/2)
 	}
 	hits := e.scratch[:total]
 	var z float64
 	for i, nb := range nbr {
-		var h float64
-		if wd := uint(nb) >> 6; int(wd) < len(bits) && bits[wd]&(1<<(uint(nb)&63)) != 0 {
-			h = float64(row[nb])
-		}
+		h := float64(row.Hits(int(nb)))
 		hits[i] = h
 		z += h
 	}
 	if total > len(nbr) { // self-loop slot
-		var h float64
-		if wd := uint(node) >> 6; wd < uint(len(bits)) && bits[wd]&(1<<(uint(node)&63)) != 0 {
-			h = float64(row[node])
-		}
+		h := float64(row.Hits(node))
 		hits[total-1] = h
 		z += h
 	}

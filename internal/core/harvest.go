@@ -30,6 +30,7 @@ type HarvestSampler struct {
 	rng     fastrand.RNG
 	est     *Estimator
 	hist    *History
+	pathBuf []int // reusable forward-walk buffer (walk.PathInto)
 	// boots holds one scale bootstrap per harvested step: p_τ magnitudes
 	// differ across τ, so the rejection scales must not be pooled.
 	boots map[int]*ScaleBootstrap
@@ -62,7 +63,7 @@ func NewHarvestSampler(c *osn.Client, cfg Config, minStep int, rng fastrand.RNG)
 		}
 	}
 	if cfg.UseWeighted {
-		s.hist = NewHistory()
+		s.hist = NewHistoryIn(cfg.Pages)
 	}
 	s.est = &Estimator{
 		Client:  c,
@@ -88,7 +89,8 @@ func (s *HarvestSampler) boot(step int) *ScaleBootstrap {
 // along the path (possibly none). Queries are charged to the client.
 func (s *HarvestSampler) Harvest() ([]int, error) {
 	t := s.cfg.WalkLength
-	path := walk.Path(s.c, s.cfg.Design, s.cfg.Start, t, s.rng)
+	path := walk.PathInto(s.pathBuf, s.c, s.cfg.Design, s.cfg.Start, t, s.rng)
+	s.pathBuf = path
 	s.forwardSteps += int64(t)
 	if s.hist != nil {
 		s.hist.RecordWalk(path)

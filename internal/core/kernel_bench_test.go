@@ -54,14 +54,15 @@ func BenchmarkBackStep(b *testing.B) {
 	}
 }
 
-// BenchmarkHistoryRow measures the per-step counter-row handoff.
+// BenchmarkHistoryRow measures the per-step row handoff plus one candidate
+// hit probe — the unit of work the WS-BW scan performs per candidate.
 func BenchmarkHistoryRow(b *testing.B) {
-	e, _ := kernelFixture(b, 13)
+	e, v := kernelFixture(b, 13)
 	b.ReportAllocs()
 	b.ResetTimer()
-	var sink int
+	var sink int32
 	for i := 0; i < b.N; i++ {
-		sink += len(e.Hist.Row(i % 13))
+		sink += e.Hist.Row(i % 13).Hits(v)
 	}
 	_ = sink
 }
@@ -111,24 +112,28 @@ func TestBackStepAllocs(t *testing.T) {
 	}
 }
 
-// TestHistoryRowAllocs guards Row's zero-allocation contract and its
-// agreement with Hits.
+// TestHistoryRowAllocs guards the Row/Hits zero-allocation contract and
+// the accessor's agreement with History.Hits, including across page
+// boundaries.
 func TestHistoryRowAllocs(t *testing.T) {
 	h := NewHistory()
 	h.RecordWalk([]int{3, 1, 4})
 	h.RecordWalk([]int{3, 5, 4})
-	if avg := testing.AllocsPerRun(1000, func() { h.Row(1) }); avg != 0 {
-		t.Errorf("History.Row allocates %v/op, want 0", avg)
+	h.RecordWalk([]int{3, 5000, 4}) // second page of step 1
+	if avg := testing.AllocsPerRun(1000, func() {
+		row := h.Row(1)
+		row.Hits(5)
+		row.Hits(5000)
+		row.Hits(1 << 20)
+	}); avg != 0 {
+		t.Errorf("History.Row/Hits allocates %v/op, want 0", avg)
 	}
+	probes := []int{0, 1, 3, 4, 5, 7, 4095, 4096, 5000, 8191, 1 << 20}
 	for step := -1; step <= 3; step++ {
 		row := h.Row(step)
-		for node := 0; node < 8; node++ {
-			var fromRow int
-			if node < len(row) {
-				fromRow = int(row[node])
-			}
-			if hits := h.Hits(node, step); fromRow != hits {
-				t.Errorf("Row(%d)[%d] = %d disagrees with Hits = %d", step, node, fromRow, hits)
+		for _, node := range probes {
+			if got, want := int(row.Hits(node)), h.Hits(node, step); got != want {
+				t.Errorf("Row(%d).Hits(%d) = %d disagrees with Hits = %d", step, node, got, want)
 			}
 		}
 	}

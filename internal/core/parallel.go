@@ -153,7 +153,8 @@ func (s *Sampler) SampleNParallelCtx(ctx context.Context, n, workers int) (walk.
 		out := make([]*pcand, size)
 		s.frontier = s.frontier[:0]
 		for i := range out {
-			path := walk.Path(s.c, s.cfg.Design, s.cfg.Start, t, s.rng)
+			path := walk.PathInto(s.pathBuf, s.c, s.cfg.Design, s.cfg.Start, t, s.rng)
+			s.pathBuf = path
 			s.forwardSteps += int64(t)
 			if s.hist != nil {
 				s.hist.RecordWalk(path)
@@ -166,13 +167,19 @@ func (s *Sampler) SampleNParallelCtx(ctx context.Context, n, workers int) (walk.
 		}
 		if s.hist != nil {
 			// Throttled snapshot: refresh only when the live history has
-			// grown ≥ 50% since the last one (copying the dense counters
-			// every batch would serialize the pipeline). Estimating against
-			// a slightly stale snapshot is still unbiased — any full-support
-			// pick distribution is (see the WS-BW note in backward.go) — and
-			// the refresh schedule depends only on walk counts, so
-			// determinism is preserved.
+			// grown ≥ 50% since the last one (re-copying the page
+			// directories every batch would serialize the pipeline).
+			// Estimating against a slightly stale snapshot is still
+			// unbiased — any full-support pick distribution is (see the
+			// WS-BW note in backward.go) — and the refresh schedule depends
+			// only on walk counts, so determinism is preserved. The
+			// replaced snapshot may still be referenced by the batch in
+			// flight, so it is retired here and its pages released at the
+			// next batch barrier, once the workers have joined.
 			if s.snapHist == nil || s.hist.Walks() >= s.snapWalks+s.snapWalks/2 {
+				if s.snapHist != nil {
+					s.retired = append(s.retired, s.snapHist)
+				}
 				s.snapHist = s.hist.Snapshot()
 				s.snapWalks = s.hist.Walks()
 			}
@@ -304,6 +311,10 @@ func (s *Sampler) SampleNParallelCtx(ctx context.Context, n, workers int) (walk.
 			next = generate(batchSize())
 		}
 		wg.Wait()
+		// Batch barrier: every worker has joined, so no candidate can still
+		// be reading a snapshot retired when the pipeline refreshed — return
+		// the retired snapshots' pages to the pool.
+		s.releaseRetired()
 		done, err := consume(cur)
 		if err != nil {
 			return res, err
@@ -353,6 +364,11 @@ func EstimateAllParallelCtx(ctx context.Context, e *Estimator, nodes []int, t, b
 	var snap *History
 	if e.Hist != nil {
 		snap = e.Hist.Snapshot()
+		// runPhase joins its workers before returning (even on error or
+		// cancellation), so by the time this call returns nothing can still
+		// be reading the snapshot — its directory goes back to the pool and
+		// the shared pages become writable for e.Hist again.
+		defer snap.Release()
 	}
 	ests := make([]*Estimator, workers)
 	for w := range ests {

@@ -189,8 +189,9 @@ func TestEstimateAllParallelDeterministicPerSeed(t *testing.T) {
 	}
 }
 
-// TestHistorySnapshotIsolation checks the dense-counter History: snapshots
-// are deep and immune to further recording, and out-of-range lookups are 0.
+// TestHistorySnapshotIsolation checks the History snapshot contract:
+// snapshots are immune to further recording (copy-on-write pages), and
+// out-of-range lookups are 0.
 func TestHistorySnapshotIsolation(t *testing.T) {
 	h := NewHistory()
 	h.RecordWalk([]int{3, 1, 4})

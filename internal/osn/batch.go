@@ -30,8 +30,8 @@ func (c *Client) NeighborsBatch(vs []int32, out [][]int32) {
 	// Pass 1: serve L1 hits; collect the positions still unresolved.
 	pos := c.batchPos[:0]
 	for i, v := range vs {
-		if c.present[uint(v)>>6]&(1<<(uint(v)&63)) != 0 {
-			out[i] = c.nbrs[v]
+		if nbr, ok := c.l1Lookup(v); ok {
+			out[i] = nbr
 		} else {
 			pos = append(pos, int32(i))
 		}
@@ -108,7 +108,7 @@ func (c *Client) NeighborsBatch(vs []int32, out [][]int32) {
 
 	// Final pass: every miss position is now warm in the L1.
 	for _, i := range pos {
-		out[i] = c.nbrs[vs[i]]
+		out[i], _ = c.l1Lookup(vs[i])
 	}
 }
 
@@ -162,7 +162,7 @@ func (c *Client) PrefetchCached(vs []int32) int {
 	// L1 pass: only ids this client does not already hold need a lookup.
 	ids := c.batchIDs[:0]
 	for _, v := range vs {
-		if c.present[uint(v)>>6]&(1<<(uint(v)&63)) == 0 {
+		if _, ok := c.l1Lookup(v); !ok {
 			ids = append(ids, v)
 		}
 	}

@@ -74,10 +74,14 @@ func BenchmarkNeighborsSharedMiss(b *testing.B) {
 	var sink int
 	for i := 0; i < b.N; i++ {
 		if i&(span-1) == 0 {
-			// Clear the L1 presence bitset (white-box: same package) so
+			// Clear the L1 presence bitsets (white-box: same package) so
 			// every lookup misses L1 and hits the shared cache, at bounded
 			// memory for any b.N.
-			clear(c.present)
+			for _, pg := range c.l1 {
+				if pg != nil {
+					pg.present = [l1Words]uint64{}
+				}
+			}
 		}
 		sink += len(c.Neighbors(i & (span - 1)))
 	}

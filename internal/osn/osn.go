@@ -257,6 +257,34 @@ const (
 	CostPerCall
 )
 
+// l1Page geometry: 256 ids per page — the page header (presence and
+// queried bitsets) is two cache lines and the neighbor-list headers are
+// 6 KiB, so a client's L1 memory is bounded by the id ranges its walks
+// actually touch (one page per 256-id range visited) plus an 8-byte
+// directory pointer per 256 ids, instead of 24 bytes per graph node.
+const (
+	l1Shift = 8
+	l1Size  = 1 << l1Shift
+	l1Mask  = l1Size - 1
+	l1Words = l1Size / 64
+)
+
+// l1Page holds one 256-id range of the client-private L1: the presence
+// bitset gating the cached neighbor-list headers.
+type l1Page struct {
+	present [l1Words]uint64
+	nbrs    [l1Size][]int32
+}
+
+// acctPage holds one 256-id range of the per-client unique-node accounting
+// bitset (private clients only — under a SharedCache the shared accounting
+// is authoritative). It is a separate, two-cache-line page so
+// accounting-only touches (attribute reads, uncacheable views) never pay
+// for an l1Page's 6 KiB of neighbor-list headers.
+type acctPage struct {
+	queried [l1Words]uint64
+}
+
 // Client is a metered third-party view of a Network. A Client is not safe
 // for concurrent use — each goroutine must own its own — but Clients forked
 // from one another (Fork, NewClientShared) may run concurrently: they
@@ -264,22 +292,24 @@ const (
 // duplicate cache fills while each keeps its own cost meter.
 //
 // Node ids are dense in [0, NumNodes()), so the client's L1 cache and its
-// unique-node accounting are slice-backed: a presence bitset plus a
-// slice-of-slices, making the warm Neighbors path one bit test and one
-// array index with no hashing, branching on the meter, or allocation.
+// unique-node accounting are paged slices over the id space: a directory of
+// fixed-size pages allocated on first touch, making the warm Neighbors path
+// one directory index, one bit test and one array load with no hashing,
+// branching on the meter, or allocation — while a client on a multi-million
+// node graph costs kilobytes of directory, not O(24n) bytes of headers.
 type Client struct {
 	net  *Network
 	rng  fastrand.RNG
 	mode CostMode
-	// nbrs is the client-private dense L1 neighbor cache; nbrs[v] is valid
-	// iff bit v of present is set. With a shared cache attached it memoizes
-	// shared lookups so the hot read path stays lock-free after warm-up; the
-	// slices alias the shared entries.
-	nbrs    [][]int32
-	present []uint64
-	// queried is the per-client unique-node accounting bitset; nil when
-	// shared is set (the shared cache's accounting is then authoritative).
-	queried  []uint64
+	// l1 is the client-private paged L1 neighbor cache directory; pages are
+	// allocated the first time an id in their range is cached. With a
+	// shared cache attached the L1 memoizes shared lookups so the hot read
+	// path stays lock-free after warm-up; the cached slices alias the
+	// shared entries.
+	l1 []*l1Page
+	// acct is the paged unique-node accounting directory; nil when shared
+	// is set (the shared cache's accounting is then authoritative).
+	acct     []*acctPage
 	nQueried int
 	// shared, when non-nil, is the cross-client neighbor cache and global
 	// unique-node accounting this client participates in.
@@ -311,14 +341,13 @@ func newClient(net *Network, mode CostMode, rng fastrand.RNG, sc *SharedCache) *
 		net:       net,
 		rng:       rng,
 		mode:      mode,
-		nbrs:      make([][]int32, n),
-		present:   make([]uint64, (n+63)/64),
+		l1:        make([]*l1Page, (n+l1Mask)>>l1Shift),
 		shared:    sc,
 		cacheable: net.restriction == nil || net.restriction.Deterministic(),
 		fastPath:  net.restriction == nil && net.rateLimit == nil,
 	}
 	if sc == nil {
-		c.queried = make([]uint64, (n+63)/64)
+		c.acct = make([]*acctPage, (n+l1Mask)>>l1Shift)
 	}
 	return c
 }
@@ -347,24 +376,36 @@ func NewClientShared(net *Network, mode CostMode, rng fastrand.RNG, sc *SharedCa
 func (c *Client) Fork(rng fastrand.RNG) *Client {
 	if c.shared == nil {
 		sc := NewSharedCache()
-		for w, word := range c.present {
-			for word != 0 {
-				v := int32(w<<6 + bits.TrailingZeros64(word))
-				word &= word - 1
-				sc.store(v, c.nbrs[v])
+		for pi, pg := range c.l1 {
+			if pg == nil {
+				continue
+			}
+			base := pi << l1Shift
+			for w, word := range pg.present {
+				for word != 0 {
+					o := w<<6 + bits.TrailingZeros64(word)
+					word &= word - 1
+					sc.store(int32(base+o), pg.nbrs[o])
+				}
 			}
 		}
-		for w, word := range c.queried {
-			for word != 0 {
-				v := int32(w<<6 + bits.TrailingZeros64(word))
-				word &= word - 1
-				sc.markQueried(v)
+		for pi, pg := range c.acct {
+			if pg == nil {
+				continue
+			}
+			base := pi << l1Shift
+			for w, word := range pg.queried {
+				for word != 0 {
+					o := w<<6 + bits.TrailingZeros64(word)
+					word &= word - 1
+					sc.markQueried(int32(base + o))
+				}
 			}
 		}
 		sc.queries.Store(c.queries)
 		sc.calls.Store(c.calls)
 		c.shared = sc
-		c.queried = nil
+		c.acct = nil
 	}
 	return NewClientShared(c.net, c.mode, rng, c.shared)
 }
@@ -383,12 +424,39 @@ func (c *Client) SymmetricView() bool { return c.net.restriction == nil }
 
 // Neighbors issues the local-neighborhood query for v and returns its
 // (possibly restricted) neighbor list. The result must not be modified.
-// The warm path — v already cached — is a bit test plus an array index.
+// The warm path — v already cached — is a page-directory index, a bit test
+// and an array load.
 func (c *Client) Neighbors(v int) []int32 {
-	if c.present[uint(v)>>6]&(1<<(uint(v)&63)) != 0 {
-		return c.nbrs[v]
+	if pg := c.l1[uint(v)>>l1Shift]; pg != nil {
+		o := uint(v) & l1Mask
+		if pg.present[o>>6]&(1<<(o&63)) != 0 {
+			return pg.nbrs[o]
+		}
 	}
 	return c.neighborsMiss(v)
+}
+
+// l1Lookup is the warm-path probe as a helper for the batched access layer:
+// the cached list of v and whether it is present.
+func (c *Client) l1Lookup(v int32) ([]int32, bool) {
+	if pg := c.l1[uint32(v)>>l1Shift]; pg != nil {
+		o := uint32(v) & l1Mask
+		if pg.present[o>>6]&(1<<(o&63)) != 0 {
+			return pg.nbrs[o], true
+		}
+	}
+	return nil, false
+}
+
+// l1Page returns the page covering v, allocating it on first touch.
+func (c *Client) l1page(v int) *l1Page {
+	pi := uint(v) >> l1Shift
+	pg := c.l1[pi]
+	if pg == nil {
+		pg = new(l1Page)
+		c.l1[pi] = pg
+	}
+	return pg
 }
 
 // neighborsMiss is the cold path of Neighbors: consult the shared cache,
@@ -426,8 +494,10 @@ func (c *Client) neighborsMiss(v int) []int32 {
 }
 
 func (c *Client) setL1(v int, nbr []int32) {
-	c.nbrs[v] = nbr
-	c.present[uint(v)>>6] |= 1 << (uint(v) & 63)
+	pg := c.l1page(v)
+	o := uint(v) & l1Mask
+	pg.nbrs[o] = nbr
+	pg.present[o>>6] |= 1 << (o & 63)
 }
 
 // Degree returns the number of neighbors visible through the interface
@@ -499,11 +569,18 @@ func (c *Client) markQueried(v int32) bool {
 	if c.shared != nil {
 		return c.shared.markQueried(v)
 	}
-	w, bit := uint32(v)>>6, uint64(1)<<(uint32(v)&63)
-	if c.queried[w]&bit != 0 {
+	pi := uint32(v) >> l1Shift
+	pg := c.acct[pi]
+	if pg == nil {
+		pg = new(acctPage)
+		c.acct[pi] = pg
+	}
+	o := uint32(v) & l1Mask
+	w, bit := o>>6, uint64(1)<<(o&63)
+	if pg.queried[w]&bit != 0 {
 		return false
 	}
-	c.queried[w] |= bit
+	pg.queried[w] |= bit
 	c.nQueried++
 	return true
 }
@@ -514,7 +591,12 @@ func (c *Client) wasQueried(v int32) bool {
 	if c.shared != nil {
 		return c.shared.wasQueried(v)
 	}
-	return c.queried[uint32(v)>>6]&(1<<(uint32(v)&63)) != 0
+	pg := c.acct[uint32(v)>>l1Shift]
+	if pg == nil {
+		return false
+	}
+	o := uint32(v) & l1Mask
+	return pg.queried[o>>6]&(1<<(o&63)) != 0
 }
 
 // Queries returns the query cost this client incurred itself under its
@@ -559,10 +641,16 @@ func (c *Client) KnownNodes() []int {
 		return c.shared.KnownNodes()
 	}
 	out := make([]int, 0, c.nQueried)
-	for w, word := range c.queried {
-		for word != 0 {
-			out = append(out, w<<6+bits.TrailingZeros64(word))
-			word &= word - 1
+	for pi, pg := range c.acct {
+		if pg == nil {
+			continue
+		}
+		base := pi << l1Shift
+		for w, word := range pg.queried {
+			for word != 0 {
+				out = append(out, base+w<<6+bits.TrailingZeros64(word))
+				word &= word - 1
+			}
 		}
 	}
 	return out

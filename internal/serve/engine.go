@@ -48,6 +48,12 @@ type Engine struct {
 	cache *osn.SharedCache
 	mode  osn.CostMode
 	sim   *osn.RemoteSim // non-nil when the backend simulates remote latency
+	// pages is the shared WS-BW history page pool: each job's sampler
+	// allocates its hit-counter pages from it and releases them when the
+	// job finishes, so a long-lived daemon's per-job history churn is
+	// bounded by the pages a job actually dirties (its visited mass), not
+	// by regrowing counters from zero per job.
+	pages *core.PagePool
 
 	// defaultStart is the max-degree node (the paper's usual seed choice),
 	// -1 when the backend exposes no ground-truth view to compute it from.
@@ -73,6 +79,7 @@ func NewEngine(net *osn.Network) *Engine {
 		net:            net,
 		cache:          osn.NewSharedCache(),
 		mode:           osn.CostUniqueNodes,
+		pages:          core.NewPagePool(),
 		defaultStart:   -1,
 		defaultWalkLen: 15, // the paper's Google Plus setting, as a fallback
 		crawls:         make(map[crawlKey]*core.CrawlTable),
@@ -108,6 +115,9 @@ func (e *Engine) Sim() *osn.RemoteSim { return e.sim }
 
 // CacheStats returns the fleet-wide cache meters as an atomic snapshot.
 func (e *Engine) CacheStats() osn.CacheStats { return e.cache.Stats() }
+
+// PagePool returns the engine's shared history page pool.
+func (e *Engine) PagePool() *core.PagePool { return e.pages }
 
 // NewClient returns a metered client attached to the service's shared cache;
 // each job (and each of its forked estimation workers) charges the fleet

@@ -35,7 +35,7 @@ func Handler(m *Manager) http.Handler {
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		m.met.WriteProm(w, m.eng)
+		m.met.WriteProm(w, m.eng, m.RetainedJobs())
 	})
 	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		switch r.Method {

@@ -170,6 +170,14 @@ func (j *Job) Cancel() bool {
 	return true
 }
 
+// expired reports whether the job is terminal and finished before cutoff
+// (the retention sweeper's eviction test).
+func (j *Job) expired(cutoff time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.Terminal() && !j.finished.IsZero() && j.finished.Before(cutoff)
+}
+
 // Status returns a point-in-time snapshot of the job.
 func (j *Job) Status() JobStatus {
 	j.mu.Lock()
@@ -245,7 +253,22 @@ type Config struct {
 	WorkerBudget int
 	// MaxWorkersPerJob clamps a spec's Workers (default WorkerBudget).
 	MaxWorkersPerJob int
+	// Retention is how long a terminal job's record (status, result, and
+	// streamed samples) stays queryable after the job finishes; a
+	// background sweeper evicts older records so the jobs map of a daemon
+	// serving millions of requests stays bounded by the active window
+	// instead of growing forever. Zero selects the default (15 minutes);
+	// negative disables eviction. Running and queued jobs are never
+	// evicted.
+	Retention time.Duration
+	// SweepInterval is how often the sweeper scans for expired records.
+	// Zero selects the default: Retention/10, clamped to [1s, 1m].
+	SweepInterval time.Duration
 }
+
+// DefaultRetention is the terminal-job record retention used when
+// Config.Retention is zero.
+const DefaultRetention = 15 * time.Minute
 
 func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
@@ -259,6 +282,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxWorkersPerJob <= 0 || c.MaxWorkersPerJob > c.WorkerBudget {
 		c.MaxWorkersPerJob = c.WorkerBudget
+	}
+	if c.Retention == 0 {
+		c.Retention = DefaultRetention
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = c.Retention / 10
+		if c.SweepInterval < time.Second {
+			c.SweepInterval = time.Second
+		}
+		if c.SweepInterval > time.Minute {
+			c.SweepInterval = time.Minute
+		}
 	}
 	return c
 }
@@ -279,6 +314,8 @@ type Manager struct {
 	seq    int64
 	closed bool
 
+	stopSweep chan struct{} // closed by Close to stop the retention sweeper
+
 	wg sync.WaitGroup
 }
 
@@ -286,19 +323,76 @@ type Manager struct {
 func NewManager(eng *Engine, cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	m := &Manager{
-		eng:   eng,
-		cfg:   cfg,
-		met:   NewMetrics(),
-		queue: make(chan *Job, cfg.QueueDepth),
-		free:  cfg.WorkerBudget,
-		jobs:  make(map[string]*Job),
+		eng:       eng,
+		cfg:       cfg,
+		met:       NewMetrics(),
+		queue:     make(chan *Job, cfg.QueueDepth),
+		free:      cfg.WorkerBudget,
+		jobs:      make(map[string]*Job),
+		stopSweep: make(chan struct{}),
 	}
 	m.cond.L = &m.mu
 	for i := 0; i < cfg.Runners; i++ {
 		m.wg.Add(1)
 		go m.runner()
 	}
+	if cfg.Retention > 0 {
+		m.wg.Add(1)
+		go m.sweeper()
+	}
 	return m
+}
+
+// sweeper periodically evicts terminal job records older than the
+// configured retention.
+func (m *Manager) sweeper() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopSweep:
+			return
+		case now := <-t.C:
+			m.Sweep(now)
+		}
+	}
+}
+
+// Sweep evicts every terminal job that finished more than the configured
+// retention before now, freeing its record (status, result, samples) for
+// garbage collection, and returns how many it evicted. Queued and running
+// jobs are untouched — eviction is purely a bookkeeping bound, it never
+// affects job execution. Exposed so tests (and operators embedding the
+// manager) can force a sweep; the background sweeper calls it on its
+// interval.
+func (m *Manager) Sweep(now time.Time) int {
+	if m.cfg.Retention <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-m.cfg.Retention)
+	m.mu.Lock()
+	evicted := 0
+	kept := m.order[:0]
+	for _, id := range m.order {
+		j := m.jobs[id]
+		if j != nil && j.expired(cutoff) {
+			delete(m.jobs, id)
+			evicted++
+			continue
+		}
+		kept = append(kept, id)
+	}
+	// Re-slice so the order slice's tail does not pin evicted id strings.
+	for i := len(kept); i < len(m.order); i++ {
+		m.order[i] = ""
+	}
+	m.order = kept
+	m.mu.Unlock()
+	if evicted > 0 {
+		m.met.jobsEvicted.Add(int64(evicted))
+	}
+	return evicted
 }
 
 // Metrics returns the manager's metric registry (for the /metrics endpoint).
@@ -424,6 +518,14 @@ func (m *Manager) List() []JobStatus {
 	return out
 }
 
+// RetainedJobs returns the number of job records currently held — queued,
+// running, and terminal records the retention sweeper has not yet evicted.
+func (m *Manager) RetainedJobs() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.jobs)
+}
+
 // Cancel cancels the job with the given id; it reports whether the id was
 // known.
 func (m *Manager) Cancel(id string) bool {
@@ -447,6 +549,7 @@ func (m *Manager) Close() {
 		return
 	}
 	m.closed = true
+	close(m.stopSweep)
 	jobs := make([]*Job, 0, len(m.jobs))
 	for _, j := range m.jobs {
 		jobs = append(jobs, j)
@@ -574,6 +677,11 @@ func (m *Manager) run(job *Job) (*JobResult, error) {
 			UseWeighted:    !spec.NoWeighted,
 			BackwardReps:   spec.BackwardReps,
 			VarianceBudget: spec.VarianceBudget,
+			// Allocate WS-BW history pages from the engine's shared pool
+			// and release them when this job is done (the deferred
+			// ReleasePages below), so per-job history churn is bounded by
+			// the job's visited mass instead of regrown from zero.
+			Pages: m.eng.pages,
 		}
 		if !spec.NoCrawl {
 			// Reuse (or build-and-memoize) the crawl table instead of
@@ -588,6 +696,9 @@ func (m *Manager) run(job *Job) (*JobResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Safe on every path out of run: SampleN*Ctx quiesce their workers
+		// before returning, so nothing can still read the pages.
+		defer s.ReleasePages()
 		s.OnSample = onSample
 		var res walk.Result
 		if spec.Workers > 1 {

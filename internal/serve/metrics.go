@@ -79,6 +79,7 @@ type Metrics struct {
 	jobsDone      atomic.Int64
 	jobsFailed    atomic.Int64
 	jobsCancelled atomic.Int64
+	jobsEvicted   atomic.Int64
 	jobsInFlight  atomic.Int64
 	samples       atomic.Int64
 
@@ -102,10 +103,12 @@ func (m *Metrics) Samples() int64 { return m.samples.Load() }
 func (m *Metrics) Uptime() time.Duration { return time.Since(m.start) }
 
 // WriteProm writes the full metric set in Prometheus text exposition format:
-// job counters, sample throughput, the engine's cache meters (atomic
-// snapshots from internal/osn), simulated-backend meters when present, and
-// the per-stage latency histograms.
-func (m *Metrics) WriteProm(w io.Writer, eng *Engine) {
+// job counters (including retention evictions), sample throughput, the
+// engine's cache meters (atomic snapshots from internal/osn),
+// simulated-backend meters when present, and the per-stage latency
+// histograms. retained is the current job-record count (the quantity the
+// retention sweeper bounds).
+func (m *Metrics) WriteProm(w io.Writer, eng *Engine, retained int) {
 	up := m.Uptime().Seconds()
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
@@ -122,6 +125,8 @@ func (m *Metrics) WriteProm(w io.Writer, eng *Engine) {
 	fmt.Fprintf(w, "walknotwait_jobs_finished_total{state=\"failed\"} %d\n", m.jobsFailed.Load())
 	fmt.Fprintf(w, "walknotwait_jobs_finished_total{state=\"cancelled\"} %d\n", m.jobsCancelled.Load())
 	gauge("walknotwait_jobs_inflight", "Jobs currently running.", float64(m.jobsInFlight.Load()))
+	counter("walknotwait_jobs_evicted_total", "Terminal job records evicted by the retention sweeper.", m.jobsEvicted.Load())
+	gauge("walknotwait_jobs_retained", "Job records currently held (queued, running, and retained terminal).", float64(retained))
 
 	samples := m.samples.Load()
 	counter("walknotwait_samples_total", "Accepted samples produced across all jobs.", samples)

@@ -246,3 +246,82 @@ func TestWalkPathJob(t *testing.T) {
 		t.Fatalf("job: %+v", st)
 	}
 }
+
+// TestRetentionEviction checks the terminal-job TTL: after a sweep past
+// the retention window, finished job records are gone from Get/List and
+// counted in the eviction meter, while fresher records survive. Queued or
+// running work is never the sweeper's business — only terminal states
+// match.
+func TestRetentionEviction(t *testing.T) {
+	eng := NewEngine(testNetwork(t))
+	m := NewManager(eng, Config{Runners: 1, WorkerBudget: 2,
+		Retention: time.Hour, SweepInterval: time.Hour})
+	defer m.Close()
+
+	j1, err := m.Submit(JobSpec{Count: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j1)
+	j2, err := m.Submit(JobSpec{Count: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j2)
+
+	if got := m.RetainedJobs(); got != 2 {
+		t.Fatalf("retained = %d, want 2", got)
+	}
+	// Sweep "now": nothing is older than an hour yet.
+	if n := m.Sweep(time.Now()); n != 0 {
+		t.Fatalf("premature sweep evicted %d jobs", n)
+	}
+	// Sweep from two hours in the future: both terminal records expire.
+	if n := m.Sweep(time.Now().Add(2 * time.Hour)); n != 2 {
+		t.Fatalf("sweep evicted %d jobs, want 2", n)
+	}
+	if _, ok := m.Get(j1.ID()); ok {
+		t.Fatalf("evicted job %s still resolvable", j1.ID())
+	}
+	if got := m.RetainedJobs(); got != 0 {
+		t.Fatalf("retained after sweep = %d, want 0", got)
+	}
+	if got := len(m.List()); got != 0 {
+		t.Fatalf("List after sweep has %d entries, want 0", got)
+	}
+	if got := m.met.jobsEvicted.Load(); got != 2 {
+		t.Fatalf("eviction meter = %d, want 2", got)
+	}
+
+	// New submissions after a sweep get fresh ids and full lifecycle.
+	j3, err := m.Submit(JobSpec{Count: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, j3)
+	if st.State != JobDone {
+		t.Fatalf("post-sweep job ended %q: %s", st.State, st.Error)
+	}
+	if got := m.RetainedJobs(); got != 1 {
+		t.Fatalf("retained after new job = %d, want 1", got)
+	}
+}
+
+// TestRetentionDisabled checks that a negative retention turns the
+// sweeper off entirely: Sweep never evicts.
+func TestRetentionDisabled(t *testing.T) {
+	eng := NewEngine(testNetwork(t))
+	m := NewManager(eng, Config{Runners: 1, WorkerBudget: 2, Retention: -1})
+	defer m.Close()
+	j, err := m.Submit(JobSpec{Count: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j)
+	if n := m.Sweep(time.Now().Add(1000 * time.Hour)); n != 0 {
+		t.Fatalf("disabled retention evicted %d jobs", n)
+	}
+	if _, ok := m.Get(j.ID()); !ok {
+		t.Fatal("job record lost despite disabled retention")
+	}
+}

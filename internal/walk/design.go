@@ -230,7 +230,20 @@ func (k EdgeProbKind) Prob(du, dv int) float64 {
 // Path performs a fixed-length walk and returns the visited nodes
 // (path[0] = start, len = steps+1).
 func Path(c View, d Design, start, steps int, rng fastrand.RNG) []int {
-	path := make([]int, steps+1)
+	return PathInto(nil, c, d, start, steps, rng)
+}
+
+// PathInto is Path writing into buf (grown when too small), so a sampler
+// that records one path after another — the WALK-ESTIMATE forward stage
+// runs millions of them — reuses a single buffer instead of allocating
+// per walk. The returned slice aliases buf's backing array and is valid
+// until the next PathInto call with the same buffer. Identical walk, RNG
+// stream, and meter behavior to Path.
+func PathInto(buf []int, c View, d Design, start, steps int, rng fastrand.RNG) []int {
+	if cap(buf) < steps+1 {
+		buf = make([]int, steps+1)
+	}
+	path := buf[:steps+1]
 	path[0] = start
 	u := start
 	// Lookahead prefetch for the sequential forward walk: before stepping
