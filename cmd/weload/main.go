@@ -1,14 +1,20 @@
-// Command weload is a closed-loop load generator for the weserve daemon: C
-// concurrent loops each submit a sampling job, follow its NDJSON stream
-// counting samples as they arrive, and move on to the next job — so offered
-// load tracks service capacity instead of piling up. It reports throughput
-// (jobs/s, samples/s) and job-latency percentiles as a JSON record, the raw
-// material of BENCH_serve.json.
+// Command weload is a load generator for the weserve daemon. By default it
+// runs closed-loop: C concurrent loops each submit a sampling job, follow
+// its NDJSON stream counting samples as they arrive, and move on to the next
+// job — so offered load tracks service capacity instead of piling up. With
+// -rate R it runs open-loop instead: jobs are submitted at a fixed R jobs/s
+// regardless of completions, which is how you measure latency under a load
+// the service does not control (the classic coordinated-omission-free
+// setup). It reports throughput (jobs/s, samples/s), job- and per-sample
+// latency percentiles, and — when the daemon fronts a fault-injected
+// backend — the backend fault/retry/failure counters scraped from /metrics
+// across the run, as a JSON record, the raw material of BENCH_serve.json.
 //
 // Usage:
 //
 //	weload -addr 127.0.0.1:7117 -jobs 16 -concurrency 4 -count 20 -workers 2
 //	weload -addr 127.0.0.1:7117 -wait 10s -label warm -out BENCH_run.json
+//	weload -addr 127.0.0.1:7117 -rate 8 -jobs 64 -label open-loop
 //
 // -wait polls /healthz until the daemon answers (for scripts that boot
 // weserve and immediately drive it). Seeds default to base+jobIndex so runs
@@ -48,10 +54,11 @@ func main() {
 		label    = flag.String("label", "", "label recorded in the output JSON")
 		out      = flag.String("out", "", "output path for the JSON record (default stdout)")
 		timeout  = flag.Duration("timeout", 5*time.Minute, "per-job client timeout")
+		rate     = flag.Float64("rate", 0, "open-loop submission rate in jobs/s (0 = closed-loop)")
 	)
 	flag.Parse()
 	if err := run(*addr, *jobs, *conc, *count, *workers, *design, *jobType,
-		*seed, *sameSeed, *wait, *label, *out, *timeout); err != nil {
+		*seed, *sameSeed, *wait, *label, *out, *timeout, *rate); err != nil {
 		fmt.Fprintln(os.Stderr, "weload:", err)
 		os.Exit(1)
 	}
@@ -59,19 +66,27 @@ func main() {
 
 // record is the JSON document weload emits.
 type record struct {
-	Label         string  `json:"label,omitempty"`
-	Addr          string  `json:"addr"`
-	Type          string  `json:"type"`
+	Label string `json:"label,omitempty"`
+	Addr  string `json:"addr"`
+	Type  string `json:"type"`
+	// Mode is "closed" (loops paced by completions) or "open" (fixed
+	// submission rate).
+	Mode          string  `json:"mode"`
+	OfferedRate   float64 `json:"offered_rate_jobs_per_sec,omitempty"`
 	Design        string  `json:"design"`
 	Jobs          int     `json:"jobs"`
-	Concurrency   int     `json:"concurrency"`
+	Concurrency   int     `json:"concurrency,omitempty"`
 	CountPerJob   int     `json:"count_per_job"`
 	WorkersPerJob int     `json:"workers_per_job"`
 	Errors        int     `json:"errors"`
-	Samples       int64   `json:"samples"`
-	WallS         float64 `json:"wall_s"`
-	SamplesPerSec float64 `json:"samples_per_sec"`
-	JobsPerSec    float64 `json:"jobs_per_sec"`
+	// FailureReasons counts failed jobs by the daemon's typed reason
+	// ("backend_unavailable", "deadline_exceeded", or the terminal state
+	// when no reason was attached).
+	FailureReasons map[string]int64 `json:"failure_reasons,omitempty"`
+	Samples        int64            `json:"samples"`
+	WallS          float64          `json:"wall_s"`
+	SamplesPerSec  float64          `json:"samples_per_sec"`
+	JobsPerSec     float64          `json:"jobs_per_sec"`
 	LatencyMS     struct {
 		Mean float64 `json:"mean"`
 		P50  float64 `json:"p50"`
@@ -93,11 +108,23 @@ type record struct {
 		Max  float64 `json:"max"`
 	} `json:"sample_latency_ms"`
 	FleetQueries int64 `json:"fleet_queries_after"`
+	// Backend carries the daemon-side fault/retry counters (deltas across
+	// the run, scraped from /metrics), present when the daemon fronts a
+	// fault-injected or resilience-wrapped backend.
+	Backend *backendCounters `json:"backend,omitempty"`
+}
+
+// backendCounters are /metrics deltas across the run.
+type backendCounters struct {
+	Faults   int64 `json:"faults"`
+	Retries  int64 `json:"retries"`
+	Absorbed int64 `json:"retries_absorbed"`
+	Failures int64 `json:"failures"`
 }
 
 func run(addr string, jobs, conc, count, workers int, design, jobType string,
 	seed int64, sameSeed bool, wait time.Duration, label, out string,
-	timeout time.Duration) error {
+	timeout time.Duration, rate float64) error {
 	base := addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
@@ -113,6 +140,9 @@ func run(addr string, jobs, conc, count, workers int, design, jobType string,
 	if jobs < 1 || conc < 1 {
 		return fmt.Errorf("need jobs >= 1 and concurrency >= 1")
 	}
+	if rate < 0 {
+		return fmt.Errorf("need rate >= 0")
+	}
 	if conc > jobs {
 		conc = jobs
 	}
@@ -125,53 +155,102 @@ func run(addr string, jobs, conc, count, workers int, design, jobType string,
 		mu         sync.Mutex
 		latencies  []float64
 		sampleLats []float64
+		reasons    = make(map[string]int64)
 		wg         sync.WaitGroup
 	)
-	began := time.Now()
-	for w := 0; w < conc; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= jobs {
-					return
-				}
-				s := seed + int64(i)
-				if sameSeed {
-					s = seed
-				}
-				t0 := time.Now()
-				n, fq, stamps, err := runJob(client, base, jobType, design, count, workers, s)
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "weload: job %d: %v\n", i, err)
-					errs.Add(1)
-					continue
-				}
-				samples.Add(n)
-				if fq > 0 {
-					// Best-effort meter read: never let a failed status
-					// fetch zero out a valid reading from an earlier job.
-					fleetQ.Store(fq)
-				}
-				d := time.Since(t0)
+	doJob := func(i int) {
+		s := seed + int64(i)
+		if sameSeed {
+			s = seed
+		}
+		t0 := time.Now()
+		n, fq, stamps, reason, err := runJob(client, base, jobType, design, count, workers, s)
+		samples.Add(n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "weload: job %d: %v\n", i, err)
+			errs.Add(1)
+			if reason != "" {
 				mu.Lock()
-				latencies = append(latencies, float64(d)/float64(time.Millisecond))
-				sampleLats = append(sampleLats, stamps...)
+				reasons[reason]++
 				mu.Unlock()
 			}
-		}()
+			return
+		}
+		if fq > 0 {
+			// Best-effort meter read: never let a failed status
+			// fetch zero out a valid reading from an earlier job.
+			fleetQ.Store(fq)
+		}
+		d := time.Since(t0)
+		mu.Lock()
+		latencies = append(latencies, float64(d)/float64(time.Millisecond))
+		sampleLats = append(sampleLats, stamps...)
+		mu.Unlock()
+	}
+
+	before := scrapeBackend(client, base)
+	began := time.Now()
+	if rate > 0 {
+		// Open-loop: one goroutine per job, launched on a fixed cadence
+		// regardless of completions. Latency under load is measured against
+		// the intended submission schedule, so a slow service shows up as
+		// latency, not as reduced offered load.
+		interval := time.Duration(float64(time.Second) / rate)
+		tick := time.NewTicker(interval)
+		for i := 0; i < jobs; i++ {
+			if i > 0 {
+				<-tick.C
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				doJob(i)
+			}(i)
+		}
+		tick.Stop()
+	} else {
+		for w := 0; w < conc; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= jobs {
+						return
+					}
+					doJob(i)
+				}
+			}()
+		}
 	}
 	wg.Wait()
 	wall := time.Since(began)
+	after := scrapeBackend(client, base)
 
+	mode := "closed"
+	if rate > 0 {
+		mode = "open"
+		conc = 0
+	}
 	rec := record{
-		Label: label, Addr: base, Type: jobType, Design: design,
-		Jobs: jobs, Concurrency: conc, CountPerJob: count, WorkersPerJob: workers,
+		Label: label, Addr: base, Type: jobType, Mode: mode, OfferedRate: rate,
+		Design: design,
+		Jobs:   jobs, Concurrency: conc, CountPerJob: count, WorkersPerJob: workers,
 		Errors:       int(errs.Load()),
 		Samples:      samples.Load(),
 		WallS:        wall.Seconds(),
 		FleetQueries: fleetQ.Load(),
+	}
+	if len(reasons) > 0 {
+		rec.FailureReasons = reasons
+	}
+	if before != nil && after != nil {
+		rec.Backend = &backendCounters{
+			Faults:   after.Faults - before.Faults,
+			Retries:  after.Retries - before.Retries,
+			Absorbed: after.Absorbed - before.Absorbed,
+			Failures: after.Failures - before.Failures,
+		}
 	}
 	if wall > 0 {
 		rec.SamplesPerSec = float64(rec.Samples) / wall.Seconds()
@@ -216,10 +295,11 @@ func run(addr string, jobs, conc, count, workers int, design, jobType string,
 
 // runJob submits one job and follows its NDJSON stream to completion,
 // returning the number of samples produced, the fleet-wide query meter
-// reported by the terminal status, and the per-sample stream timestamps —
-// for each sample line, milliseconds from the job's submission to the
-// line's arrival on the stream.
-func runJob(client *http.Client, base, jobType, design string, count, workers int, seed int64) (int64, int64, []float64, error) {
+// reported by the terminal status, the per-sample stream timestamps — for
+// each sample line, milliseconds from the job's submission to the line's
+// arrival on the stream — and, for failed jobs, the daemon's typed failure
+// reason (falling back to the terminal state).
+func runJob(client *http.Client, base, jobType, design string, count, workers int, seed int64) (int64, int64, []float64, string, error) {
 	spec := map[string]any{
 		"type":    jobType,
 		"design":  design,
@@ -231,23 +311,23 @@ func runJob(client *http.Client, base, jobType, design string, count, workers in
 	submitted := time.Now()
 	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, 0, nil, err
+		return 0, 0, nil, "", err
 	}
 	sub, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
-		return 0, 0, nil, fmt.Errorf("submit: %d %s", resp.StatusCode, bytes.TrimSpace(sub))
+		return 0, 0, nil, "", fmt.Errorf("submit: %d %s", resp.StatusCode, bytes.TrimSpace(sub))
 	}
 	var st struct {
 		ID string `json:"id"`
 	}
 	if err := json.Unmarshal(sub, &st); err != nil {
-		return 0, 0, nil, fmt.Errorf("submit response: %v", err)
+		return 0, 0, nil, "", fmt.Errorf("submit response: %v", err)
 	}
 
 	resp, err = client.Get(base + "/v1/jobs/" + st.ID + "/stream")
 	if err != nil {
-		return 0, 0, nil, err
+		return 0, 0, nil, "", err
 	}
 	defer resp.Body.Close()
 	var n int64
@@ -255,9 +335,10 @@ func runJob(client *http.Client, base, jobType, design string, count, workers in
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	var terminal struct {
-		Done  bool   `json:"done"`
-		State string `json:"state"`
-		Error string `json:"error"`
+		Done          bool   `json:"done"`
+		State         string `json:"state"`
+		Error         string `json:"error"`
+		FailureReason string `json:"failure_reason"`
 	}
 	for sc.Scan() {
 		line := sc.Bytes()
@@ -277,16 +358,20 @@ func runJob(client *http.Client, base, jobType, design string, count, workers in
 		stamps = append(stamps, float64(time.Since(submitted))/float64(time.Millisecond))
 	}
 	if err := sc.Err(); err != nil {
-		return n, 0, stamps, err
+		return n, 0, stamps, "", err
 	}
 	if terminal.State != "done" {
-		return n, 0, stamps, fmt.Errorf("job %s ended %q: %s", st.ID, terminal.State, terminal.Error)
+		reason := terminal.FailureReason
+		if reason == "" {
+			reason = terminal.State
+		}
+		return n, 0, stamps, reason, fmt.Errorf("job %s ended %q (%s): %s", st.ID, terminal.State, reason, terminal.Error)
 	}
 
 	// One status read for the fleet meter after the job.
 	resp, err = client.Get(base + "/v1/jobs/" + st.ID)
 	if err != nil {
-		return n, 0, stamps, nil // stream already succeeded; meter is best-effort
+		return n, 0, stamps, "", nil // stream already succeeded; meter is best-effort
 	}
 	defer resp.Body.Close()
 	var full struct {
@@ -295,9 +380,57 @@ func runJob(client *http.Client, base, jobType, design string, count, workers in
 		} `json:"result"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&full); err == nil && full.Result != nil {
-		return n, full.Result.FleetQueries, stamps, nil
+		return n, full.Result.FleetQueries, stamps, "", nil
 	}
-	return n, 0, stamps, nil
+	return n, 0, stamps, "", nil
+}
+
+// scrapeBackend reads the daemon's /metrics and extracts the backend
+// fault/retry counters; nil when the daemon has no fault-injected backend
+// (or /metrics is unreachable). Best-effort: weload must work against
+// daemons without the resilience layer.
+func scrapeBackend(client *http.Client, base string) *backendCounters {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var bc backendCounters
+	found := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		var v int64
+		if _, err := fmt.Sscanf(strings.TrimSpace(val), "%d", &v); err != nil {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(name, "walknotwait_backend_faults_total"):
+			bc.Faults += v // summed across kind labels
+			found = true
+		case name == "walknotwait_backend_retries_total":
+			bc.Retries = v
+			found = true
+		case name == "walknotwait_backend_retries_absorbed_total":
+			bc.Absorbed = v
+			found = true
+		case name == "walknotwait_backend_failures_total":
+			bc.Failures = v
+			found = true
+		}
+	}
+	if !found {
+		return nil
+	}
+	return &bc
 }
 
 func waitHealthy(client *http.Client, base string, wait time.Duration) error {

@@ -18,6 +18,14 @@
 //	wesample -in graph.txt -backend sim -latency 50ms -jitter 10ms -workers 8
 //	wesample -in graph.txt -sampler geweke -design mhrw -count 100
 //	wesample -in graph.txt -sampler longrun -burnin 500 -thin 5
+//	wesample -in graph.txt -faultrate 0.01 -retries 8 -count 100
+//
+// With -faultrate > 0 (or -outage) the backend is wrapped with a seeded
+// deterministic fault injector plus the retry/backoff/circuit-breaker
+// middleware: transient faults are absorbed below the sampler (the sample
+// sequence stays bit-identical to a fault-free run under the same -seed),
+// and an unrecoverable backend failure aborts the run with a typed error
+// while the samples drawn so far are still printed.
 //
 // Binary CSR inputs (written by wegen -format csr) are auto-detected; with
 // -backend mem they are decoded to the heap, with -backend disk they are
@@ -25,6 +33,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -54,13 +64,19 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		workers = flag.Int("workers", 1, "parallel estimation workers (we sampler only)")
 		quiet   = flag.Bool("quiet", false, "suppress per-sample output")
+
+		faultRate = flag.Float64("faultrate", 0, "per-round-trip backend fault probability in [0,1) (0 disables injection)")
+		faultSeed = flag.Int64("fault-seed", 1, "seed of the deterministic fault schedule")
+		outage    = flag.String("outage", "", "full-outage window start+dur from startup, e.g. 2s+500ms")
+		retries   = flag.Int("retries", 0, "max retries per backend access (0 = policy default)")
 	)
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "wesample: -in is required")
 		os.Exit(2)
 	}
-	if err := run(*in, *backend, *latency, *jitter, *fanout, *sampler, *design,
+	faults := wnw.FaultOptions{Rate: *faultRate, Seed: *faultSeed, Outage: *outage, Retries: *retries}
+	if err := run(*in, *backend, *latency, *jitter, *fanout, faults, *sampler, *design,
 		*count, *start, *walkLen, *hops, *burnin, *thin, *geweke, *maxStep,
 		*seed, *workers, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "wesample:", err)
@@ -69,13 +85,33 @@ func main() {
 }
 
 func run(in, backendName string, latency, jitter time.Duration, fanout int,
-	samplerName, designName string, count, start, walkLen, hops,
+	faults wnw.FaultOptions, samplerName, designName string, count, start, walkLen, hops,
 	burnin, thin int, geweke float64, maxStep int, seed int64, workers int, quiet bool) error {
 	be, cleanup, err := wnw.OpenBackend(in, backendName, latency, jitter, fanout)
 	if err != nil {
 		return err
 	}
 	defer cleanup()
+	be, fsim, resb, err := wnw.WrapFaults(be, faults)
+	if err != nil {
+		return err
+	}
+	// Under fault injection the run gets a cancellable context carrying the
+	// failure-cancel hook: when the resilience layer gives up, the sampler's
+	// context check aborts the run with the typed cause.
+	ctx := context.Background()
+	if resb != nil {
+		cctx, cancel := context.WithCancelCause(context.Background())
+		ctx = wnw.WithFailureCancel(cctx, cancel)
+	}
+	reportFaults := func() {
+		if fsim == nil {
+			return
+		}
+		st, rs := fsim.Stats(), resb.Stats()
+		fmt.Fprintf(os.Stderr, "faults: %d/%d round trips faulted; retries %d (absorbed %d, failures %d), breaker %s\n",
+			st.Total(), st.Attempts, rs.Retries, rs.Absorbed, rs.Failures, rs.Breaker)
+	}
 	d, err := wnw.DesignByName(designName)
 	if err != nil {
 		return err
@@ -91,6 +127,7 @@ func run(in, backendName string, latency, jitter time.Duration, fanout int,
 		}
 	}
 	c := wnw.NewClient(net, wnw.CostUniqueNodes, rng)
+	c.BindContext(ctx)
 
 	began := time.Now()
 	var res wnw.SampleResult
@@ -111,11 +148,22 @@ func run(in, backendName string, latency, jitter time.Duration, fanout int,
 			return err
 		}
 		if workers > 1 {
-			res, err = s.SampleNParallel(count, workers)
+			res, err = s.SampleNParallelCtx(ctx, count, workers)
 		} else {
-			res, err = s.SampleN(count)
+			res, err = s.SampleNCtx(ctx, count)
 		}
 		if err != nil {
+			var bu *wnw.BackendUnavailableError
+			if errors.As(err, &bu) {
+				fmt.Fprintf(os.Stderr, "backend unavailable (%s after %d attempts); %d of %d samples drawn before the failure:\n",
+					bu.Reason, bu.Attempts, res.Len(), count)
+				if !quiet {
+					for i, v := range res.Nodes {
+						fmt.Printf("%d %d %d\n", v, res.Steps[i], res.CostAfter[i])
+					}
+				}
+				reportFaults()
+			}
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "acceptance-rate %.4f, steps %d (fwd %d / bwd %d)\n",
@@ -158,5 +206,6 @@ func run(in, backendName string, latency, jitter time.Duration, fanout int,
 			elapsed.Round(time.Millisecond),
 			float64(elapsed.Milliseconds())/float64(max(1, res.Len())))
 	}
+	reportFaults()
 	return nil
 }

@@ -9,10 +9,18 @@
 //	weserve -in graph.csr -addr :7117
 //	weserve -in graph.txt -backend sim -latency 10ms -jitter 2ms
 //	weserve -in graph.csr -backend disk -runners 4 -worker-budget 16
+//	weserve -in graph.txt -backend sim -faultrate 0.01 -retries 8
+//
+// With -faultrate > 0 (or -outage) the backend is wrapped with a seeded
+// deterministic fault injector and the retry/backoff/circuit-breaker
+// middleware: transient faults are absorbed below the sampler (sample
+// sequences stay bit-identical to a fault-free run), outages open the
+// breaker, flip /readyz to 503, and fail in-flight jobs with a typed
+// "backend_unavailable" reason while preserving their partial samples.
 //
 // Endpoints: POST /v1/jobs, GET /v1/jobs[/{id}[/stream]], DELETE
-// /v1/jobs/{id}, /healthz, /metrics (Prometheus text). See
-// cmd/weserve/README.md for a curl-able walkthrough.
+// /v1/jobs/{id}, /healthz (+ /livez, /readyz), /metrics (Prometheus text).
+// See cmd/weserve/README.md for a curl-able walkthrough.
 package main
 
 import (
@@ -45,13 +53,19 @@ func main() {
 		maxWork = flag.Int("max-workers-per-job", 0, "per-job worker clamp (0 = the whole budget)")
 		retain  = flag.Duration("retention", 0, "how long finished job records stay queryable (0 = 15m, negative disables eviction)")
 		sweep   = flag.Duration("sweep", 0, "retention sweep interval (0 = retention/10, clamped to [1s,1m])")
+
+		faultRate = flag.Float64("faultrate", 0, "per-round-trip backend fault probability in [0,1) (0 disables injection)")
+		faultSeed = flag.Int64("fault-seed", 1, "seed of the deterministic fault schedule")
+		outage    = flag.String("outage", "", "full-outage window start+dur from startup, e.g. 2s+500ms")
+		retries   = flag.Int("retries", 0, "max retries per backend access (0 = policy default)")
 	)
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "weserve: -in is required")
 		os.Exit(2)
 	}
-	if err := run(*in, *backend, *latency, *jitter, *fanout, *addr,
+	faults := wnw.FaultOptions{Rate: *faultRate, Seed: *faultSeed, Outage: *outage, Retries: *retries}
+	if err := run(*in, *backend, *latency, *jitter, *fanout, faults, *addr,
 		*queue, *runners, *budget, *maxWork, *retain, *sweep); err != nil {
 		fmt.Fprintln(os.Stderr, "weserve:", err)
 		os.Exit(1)
@@ -59,13 +73,21 @@ func main() {
 }
 
 func run(in, backendName string, latency, jitter time.Duration, fanout int,
-	addr string, queue, runners, budget, maxWork int,
+	faults wnw.FaultOptions, addr string, queue, runners, budget, maxWork int,
 	retention, sweep time.Duration) error {
 	be, cleanup, err := wnw.OpenBackend(in, backendName, latency, jitter, fanout)
 	if err != nil {
 		return err
 	}
 	defer cleanup()
+	be, fsim, _, err := wnw.WrapFaults(be, faults)
+	if err != nil {
+		return err
+	}
+	if fsim != nil {
+		log.Printf("weserve: fault injection on: rate=%v seed=%d outage=%q retries=%d",
+			faults.Rate, faults.Seed, faults.Outage, faults.Retries)
+	}
 
 	net := wnw.NewNetworkOn(be)
 	eng := serve.NewEngine(net)

@@ -124,8 +124,10 @@ func (s *Sampler) SampleNParallelCtx(ctx context.Context, n, workers int) (walk.
 				if err := ctx.Err(); err != nil {
 					// Abandon promptly: the batch still drains (the barrier
 					// stays intact) but no further backward walk starts, so
-					// no further query is charged.
-					cd.err = err
+					// no further query is charged. Cause, not Err: a typed
+					// backend failure that cancelled the job context must
+					// surface as itself, not as a bare context.Canceled.
+					cd.err = context.Cause(ctx)
 					wg.Done()
 					continue
 				}
@@ -201,7 +203,7 @@ func (s *Sampler) SampleNParallelCtx(ctx context.Context, n, workers int) (walk.
 	// there is no third state.
 	consume := func(cands []*pcand) (done bool, err error) {
 		if err := ctx.Err(); err != nil {
-			return false, err
+			return false, context.Cause(ctx)
 		}
 		for i, cd := range cands {
 			if cd.err != nil {
@@ -273,7 +275,7 @@ func (s *Sampler) SampleNParallelCtx(ctx context.Context, n, workers int) (walk.
 		// Producer-side cancellation point: between batches, before any of
 		// the next batch's queries (prefetch, estimates) are charged.
 		if err := ctx.Err(); err != nil {
-			return res, err
+			return res, context.Cause(ctx)
 		}
 		// Batched frontier prefetch, at dispatch time: the batch's candidate
 		// endpoints are exactly the nodes every estimation worker queries
@@ -396,7 +398,7 @@ func EstimateAllParallelCtx(ctx context.Context, e *Estimator, nodes []int, t, b
 				defer wg.Done()
 				for i := range idx {
 					if err := ctx.Err(); err != nil {
-						errs[i] = err
+						errs[i] = context.Cause(ctx)
 						continue
 					}
 					rng := fastrand.New(fastrand.Mix(seed, int64(i), phase))
@@ -424,7 +426,7 @@ func EstimateAllParallelCtx(ctx context.Context, e *Estimator, nodes []int, t, b
 		// Cancellation is authoritative: a phase cut short must never read
 		// as a completed (but silently shallower) estimate.
 		if err := ctx.Err(); err != nil {
-			return err
+			return context.Cause(ctx)
 		}
 		for _, err := range errs {
 			if err != nil {

@@ -223,7 +223,9 @@ func (s *Sampler) sample(ctx context.Context) (int, error) {
 	t := s.cfg.WalkLength
 	for attempt := 0; attempt < s.cfg.maxAttempts(); attempt++ {
 		if err := ctx.Err(); err != nil {
-			return 0, err
+			// Cause, not Err: a typed backend failure that cancelled the
+			// job context surfaces as itself.
+			return 0, context.Cause(ctx)
 		}
 		s.attempts++
 		path := walk.PathInto(s.pathBuf, s.c, s.cfg.Design, s.cfg.Start, t, s.rng)

@@ -82,7 +82,34 @@ func (c *Client) NeighborsBatch(vs []int32, out [][]int32) {
 	// they consume no RNG, so batch order cannot perturb any stream).
 	if len(fetch) > 0 {
 		fetched := lists[:len(fetch)]
-		c.net.be.NeighborsBatch(fetch, fetched)
+		if c.fb != nil {
+			if cap(c.batchFailed) < len(fetch) {
+				c.batchFailed = make([]bool, len(fetch), 2*len(fetch))
+			}
+			bf := c.batchFailed[:len(fetch)]
+			if err := c.fb.NeighborsBatchCtx(c.ctx, fetch, fetched, bf); err != nil {
+				c.noteFetchError(err)
+				// Compact to the elements that succeeded: failures are
+				// neither cached nor charged, and resolve to nil in the
+				// final pass below.
+				k := 0
+				for i := range fetch {
+					if !bf[i] {
+						fetch[k], fetched[k] = fetch[i], fetched[i]
+						k++
+					}
+				}
+				fetch, fetched = fetch[:k], fetched[:k]
+				if len(fetch) == 0 {
+					for _, i := range pos {
+						out[i], _ = c.l1Lookup(vs[i])
+					}
+					return
+				}
+			}
+		} else {
+			c.net.be.NeighborsBatch(fetch, fetched)
+		}
 		if !c.fastPath && c.net.restriction != nil {
 			for i, v := range fetch {
 				fetched[i] = c.net.restriction.Apply(fetched[i], int(v), c.rng)

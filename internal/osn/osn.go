@@ -10,6 +10,7 @@
 package osn
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sync"
@@ -325,24 +326,40 @@ type Client struct {
 	// limit: misses cache the ground-truth list as-is (no restriction
 	// branch) and the meter needs no rate-limit branch.
 	fastPath bool
+	// fb is the backend's fallible access surface, when it has one
+	// (FaultSim, ResilientBackend): cold fetches then go through it under
+	// ctx, so a backend failure is reported — never cached, never charged —
+	// instead of silently degraded. nil for infallible backends, leaving
+	// the classic path untouched.
+	fb FallibleBackend
+	// ctx is the context fallible fetches run under (BindContext); defaults
+	// to context.Background(). Warm-path reads never consult it.
+	ctx context.Context
+	// lastErr is the first backend failure this client observed (Err).
+	lastErr     error
+	failedFetch int64
 	// Reusable scratch buffers for the batched access path (NeighborsBatch,
 	// Prefetch), so steady-state batches allocate nothing on the client.
 	batchPos    []int32     // positions in vs still unresolved after the L1 pass
 	batchIDs    []int32     // deduplicated miss ids
 	batchLists  [][]int32   // lists aligned with batchIDs
 	batchFirst  []bool      // found/first-access flags aligned with batchIDs
+	batchFailed []bool      // per-element failure flags for the fallible batch path
 	groups      shardGroups // shard bucketing scratch for the shared-cache batch ops
 	prefetchBuf [][]int32   // Prefetch's throwaway out buffer
 }
 
 func newClient(net *Network, mode CostMode, rng fastrand.RNG, sc *SharedCache) *Client {
 	n := net.be.NumNodes()
+	fb, _ := net.be.(FallibleBackend)
 	c := &Client{
 		net:       net,
 		rng:       rng,
 		mode:      mode,
 		l1:        make([]*l1Page, (n+l1Mask)>>l1Shift),
 		shared:    sc,
+		fb:        fb,
+		ctx:       context.Background(),
 		cacheable: net.restriction == nil || net.restriction.Deterministic(),
 		fastPath:  net.restriction == nil && net.rateLimit == nil,
 	}
@@ -407,11 +424,43 @@ func (c *Client) Fork(rng fastrand.RNG) *Client {
 		c.shared = sc
 		c.acct = nil
 	}
-	return NewClientShared(c.net, c.mode, rng, c.shared)
+	nc := NewClientShared(c.net, c.mode, rng, c.shared)
+	nc.ctx = c.ctx // workers inherit the job's deadline and failure-cancel hook
+	return nc
 }
 
 // Shared returns the client's shared cache, or nil for a private client.
 func (c *Client) Shared() *SharedCache { return c.shared }
+
+// BindContext binds the context the client's fallible backend accesses run
+// under: per-job deadlines cut resilience-layer waits short, and a
+// WithFailureCancel hook in ctx turns an exhausted retry policy into prompt
+// job cancellation with the typed error as the cause. A nil ctx restores
+// context.Background(). No-op wiring for infallible backends; the warm read
+// path never consults the context either way.
+func (c *Client) BindContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.ctx = ctx
+}
+
+// Err returns the first backend failure this client observed (after the
+// resilience layer, if any, gave up), or nil. Failed accesses are never
+// cached or charged; samplers see them as empty neighbor lists while the
+// typed error cancels the bound context's job.
+func (c *Client) Err() error { return c.lastErr }
+
+// FailedFetches returns how many cold fetches failed (post-retry).
+func (c *Client) FailedFetches() int64 { return c.failedFetch }
+
+// noteFetchError records a failed cold fetch.
+func (c *Client) noteFetchError(err error) {
+	c.failedFetch++
+	if c.lastErr == nil {
+		c.lastErr = err
+	}
+}
 
 // Mode returns the client's cost-charging mode.
 func (c *Client) Mode() CostMode { return c.mode }
@@ -469,7 +518,22 @@ func (c *Client) neighborsMiss(v int) []int32 {
 			return nbr
 		}
 	}
-	nbr := c.net.be.Neighbors(v)
+	var nbr []int32
+	if c.fb != nil {
+		var err error
+		nbr, err = c.fb.NeighborsCtx(c.ctx, v)
+		if err != nil {
+			// A failed fetch is never cached (a degraded answer must not
+			// poison the L1 or a daemon's shared cache) and never charged
+			// (the crawler got nothing for it). The walk kernel sees an
+			// empty list — a stranded node — while the typed error cancels
+			// the bound job context, so the run fails promptly above.
+			c.noteFetchError(err)
+			return nil
+		}
+	} else {
+		nbr = c.net.be.Neighbors(v)
+	}
 	if c.fastPath {
 		// Unrestricted view: the ground-truth list is the answer and is
 		// always cacheable.

@@ -31,6 +31,7 @@
 package serve
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 
@@ -48,6 +49,11 @@ type Engine struct {
 	cache *osn.SharedCache
 	mode  osn.CostMode
 	sim   *osn.RemoteSim // non-nil when the backend simulates remote latency
+	// res and faults are discovered by walking the backend chain: the
+	// resilience middleware (breaker state, retry meters for /metrics and
+	// readiness) and the fault injector (fault meters, outage control).
+	res    *osn.ResilientBackend
+	faults *osn.FaultSim
 	// pages is the shared WS-BW history page pool: each job's sampler
 	// allocates its hit-counter pages from it and releases them when the
 	// job finishes, so a long-lived daemon's per-job history churn is
@@ -84,8 +90,23 @@ func NewEngine(net *osn.Network) *Engine {
 		defaultWalkLen: 15, // the paper's Google Plus setting, as a fallback
 		crawls:         make(map[crawlKey]*core.CrawlTable),
 	}
-	if sim, ok := net.Backend().(*osn.RemoteSim); ok {
-		e.sim = sim
+	// Walk the wrapper chain (ResilientBackend over FaultSim over RemoteSim
+	// over mem/disk, any subset present) so each layer's meters are
+	// addressable regardless of stacking order.
+	for be := net.Backend(); be != nil; {
+		switch t := be.(type) {
+		case *osn.RemoteSim:
+			e.sim = t
+		case *osn.ResilientBackend:
+			e.res = t
+		case *osn.FaultSim:
+			e.faults = t
+		}
+		u, ok := be.(interface{ Inner() osn.Backend })
+		if !ok {
+			break
+		}
+		be = u.Inner()
 	}
 	if g := net.Graph(); g != nil && g.NumNodes() > 0 {
 		best := 0
@@ -113,6 +134,14 @@ func (e *Engine) NumNodes() int { return e.net.NumNodes() }
 // (used by /metrics to surface round-trip meters).
 func (e *Engine) Sim() *osn.RemoteSim { return e.sim }
 
+// Resilient returns the resilience middleware when the backend chain has
+// one, else nil (breaker state for /readyz, retry meters for /metrics).
+func (e *Engine) Resilient() *osn.ResilientBackend { return e.res }
+
+// Faults returns the fault injector when the backend chain has one, else
+// nil (fault meters for /metrics; outage control in chaos tests).
+func (e *Engine) Faults() *osn.FaultSim { return e.faults }
+
 // CacheStats returns the fleet-wide cache meters as an atomic snapshot.
 func (e *Engine) CacheStats() osn.CacheStats { return e.cache.Stats() }
 
@@ -126,13 +155,24 @@ func (e *Engine) NewClient(rng fastrand.RNG) *osn.Client {
 	return osn.NewClientShared(e.net, e.mode, rng, e.cache)
 }
 
+// NewClientCtx is NewClient with the job context bound: fallible backend
+// accesses run under ctx, so per-job deadlines cut resilience waits short
+// and retry-policy exhaustion cancels the job with its typed cause.
+func (e *Engine) NewClientCtx(ctx context.Context, rng fastrand.RNG) *osn.Client {
+	c := e.NewClient(rng)
+	c.BindContext(ctx)
+	return c
+}
+
 // crawlTable returns the memoized crawl table for (design, start, hops),
 // building it through c on first use. The table is a deterministic function
 // of the graph and the key, so reuse is invisible to job sample sequences;
 // only the build's query charges are saved. If two jobs race the same key
 // both build (charging the shared meter once per unique node regardless)
-// and the first store wins.
-func (e *Engine) crawlTable(c *osn.Client, d walk.Design, start, hops int) (*core.CrawlTable, error) {
+// and the first store wins. A build degraded by a backend failure (failed
+// fetches shrink the crawled ball) is never memoized — the partial table
+// must not poison later jobs' determinism — and fails with the typed cause.
+func (e *Engine) crawlTable(ctx context.Context, c *osn.Client, d walk.Design, start, hops int) (*core.CrawlTable, error) {
 	key := crawlKey{design: d.Name(), start: start, hops: hops}
 	e.mu.Lock()
 	ct, ok := e.crawls[key]
@@ -143,6 +183,12 @@ func (e *Engine) crawlTable(c *osn.Client, d walk.Design, start, hops int) (*cor
 	ct, err := core.BuildCrawlTable(c, d, start, hops)
 	if err != nil {
 		return nil, err
+	}
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, context.Cause(ctx)
 	}
 	e.mu.Lock()
 	if prev, ok := e.crawls[key]; ok {

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+
+	"repro/internal/osn"
 )
 
 // Handler returns the service's HTTP API over the manager:
@@ -17,14 +19,22 @@ import (
 //	GET    /v1/jobs/{id}/stream NDJSON: accepted samples as they are
 //	                            produced, then one terminal status line
 //	DELETE /v1/jobs/{id}        cancel
-//	GET    /healthz             liveness + engine summary
+//	GET    /healthz             liveness + engine summary (alias of /livez)
+//	GET    /livez               liveness: 200 while the process serves HTTP
+//	GET    /readyz              readiness: 503 while draining or while the
+//	                            backend circuit breaker is open
 //	GET    /metrics             Prometheus text exposition
+//
+// Liveness and readiness are split so orchestrators can tell "restart me"
+// from "stop routing to me": a draining daemon and one whose resilience
+// middleware has opened the breaker (backend outage) are alive but not
+// ready — they finish or fail in-flight work and recover without a restart.
 //
 // Routing is hand-rolled on path prefixes so it behaves identically across
 // Go versions (no dependence on 1.22 ServeMux patterns).
 func Handler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	live := func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"ok":            true,
 			"uptime_s":      m.met.Uptime().Seconds(),
@@ -32,6 +42,30 @@ func Handler(m *Manager) http.Handler {
 			"jobs_inflight": m.met.jobsInFlight.Load(),
 			"samples":       m.met.Samples(),
 		})
+	}
+	mux.HandleFunc("/healthz", live)
+	mux.HandleFunc("/livez", live)
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		draining := m.Draining()
+		breaker := ""
+		breakerOpen := false
+		if res := m.eng.Resilient(); res != nil {
+			st := res.BreakerState()
+			breaker = st.String()
+			breakerOpen = st == osn.BreakerOpen
+		}
+		code := http.StatusOK
+		if draining || breakerOpen {
+			code = http.StatusServiceUnavailable
+		}
+		body := map[string]any{
+			"ready":    code == http.StatusOK,
+			"draining": draining,
+		}
+		if breaker != "" {
+			body["breaker"] = breaker
+		}
+		writeJSON(w, code, body)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -124,12 +158,16 @@ func streamJob(w http.ResponseWriter, r *http.Request, job *Job) {
 		}
 		if terminal && len(batch) == 0 {
 			st := job.Status()
-			enc.Encode(map[string]any{
+			line := map[string]any{
 				"done":    true,
 				"state":   st.State,
 				"samples": st.Samples,
 				"error":   st.Error,
-			})
+			}
+			if st.FailureReason != "" {
+				line["failure_reason"] = st.FailureReason
+			}
+			enc.Encode(line)
 			if fl != nil {
 				fl.Flush()
 			}

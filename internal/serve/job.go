@@ -11,6 +11,7 @@ import (
 	"repro/internal/agg"
 	"repro/internal/core"
 	"repro/internal/fastrand"
+	"repro/internal/osn"
 	"repro/internal/walk"
 )
 
@@ -57,6 +58,11 @@ type JobSpec struct {
 	VarianceBudget int `json:"variance_budget,omitempty"`
 	// Attr is the attribute estimate-mean aggregates; default "degree".
 	Attr string `json:"attr,omitempty"`
+	// DeadlineMS, when > 0, bounds the job's run phase: the run context
+	// gets this deadline, backend resilience waits are cut short by it, and
+	// an overrun fails the job with reason "deadline_exceeded" — samples
+	// streamed before the deadline remain valid and delivered.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
 }
 
 // Sample is one streamed output row: an accepted sample (or, for walk-path
@@ -86,9 +92,22 @@ func (s JobState) Terminal() bool {
 	return s == JobDone || s == JobFailed || s == JobCancelled
 }
 
+// Typed failure reasons attached to failed jobs (JobStatus.FailureReason).
+const (
+	// ReasonBackendUnavailable marks a job failed because the access layer
+	// exhausted its retry policy (or the circuit breaker refused service).
+	ReasonBackendUnavailable = "backend_unavailable"
+	// ReasonDeadlineExceeded marks a job that overran its deadline_ms.
+	ReasonDeadlineExceeded = "deadline_exceeded"
+)
+
 // JobResult is the summary attached to a finished job.
 type JobResult struct {
 	Samples int `json:"samples"`
+	// Partial marks the result of a failed job: everything recorded here
+	// (and every streamed sample) was produced — and remains valid — before
+	// the failure; only the remainder is missing.
+	Partial bool `json:"partial,omitempty"`
 	// Queries is the fleet meter's growth over this job's run: the unique
 	// nodes the job actually had to pay for. Under a warm cache this
 	// shrinks toward zero — the amortization the service exists for. (With
@@ -107,14 +126,17 @@ type JobResult struct {
 
 // JobStatus is the JSON snapshot served for GET /v1/jobs/{id}.
 type JobStatus struct {
-	ID      string     `json:"id"`
-	State   JobState   `json:"state"`
-	Spec    JobSpec    `json:"spec"`
-	Error   string     `json:"error,omitempty"`
-	Samples int        `json:"samples"`
-	QueueMS float64    `json:"queue_ms"`
-	RunMS   float64    `json:"run_ms"`
-	Result  *JobResult `json:"result,omitempty"`
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	Spec  JobSpec  `json:"spec"`
+	Error string   `json:"error,omitempty"`
+	// FailureReason is the typed cause of a failed job:
+	// "backend_unavailable" or "deadline_exceeded" (empty otherwise).
+	FailureReason string     `json:"failure_reason,omitempty"`
+	Samples       int        `json:"samples"`
+	QueueMS       float64    `json:"queue_ms"`
+	RunMS         float64    `json:"run_ms"`
+	Result        *JobResult `json:"result,omitempty"`
 }
 
 // Job is one submitted sampling job. All mutable state is guarded by mu;
@@ -124,12 +146,13 @@ type Job struct {
 	id     string
 	spec   JobSpec
 	ctx    context.Context
-	cancel context.CancelFunc
+	cancel context.CancelCauseFunc
 
 	mu        sync.Mutex
 	cond      sync.Cond
 	state     JobState
 	errMsg    string
+	reason    string // typed failure reason (failed jobs)
 	samples   []Sample
 	result    *JobResult
 	submitted time.Time
@@ -138,7 +161,7 @@ type Job struct {
 }
 
 func newJob(id string, spec JobSpec, now time.Time) *Job {
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancelCause(context.Background())
 	j := &Job{id: id, spec: spec, ctx: ctx, cancel: cancel,
 		state: JobQueued, submitted: now}
 	j.cond.L = &j.mu
@@ -157,7 +180,7 @@ func (j *Job) Spec() JobSpec { return j.spec }
 // call finalized a still-queued job (so the caller can account it — runner
 // bookkeeping never sees such a job).
 func (j *Job) Cancel() bool {
-	j.cancel()
+	j.cancel(nil) // cause defaults to context.Canceled
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state != JobQueued {
@@ -183,12 +206,13 @@ func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
-		ID:      j.id,
-		State:   j.state,
-		Spec:    j.spec,
-		Error:   j.errMsg,
-		Samples: len(j.samples),
-		Result:  j.result,
+		ID:            j.id,
+		State:         j.state,
+		Spec:          j.spec,
+		Error:         j.errMsg,
+		FailureReason: j.reason,
+		Samples:       len(j.samples),
+		Result:        j.result,
 	}
 	if !j.started.IsZero() {
 		st.QueueMS = float64(j.started.Sub(j.submitted)) / float64(time.Millisecond)
@@ -454,7 +478,18 @@ func (m *Manager) normalize(spec JobSpec) (JobSpec, error) {
 	if spec.Attr == "" {
 		spec.Attr = "degree"
 	}
+	if spec.DeadlineMS < 0 {
+		return spec, fmt.Errorf("serve: negative deadline_ms %d", spec.DeadlineMS)
+	}
 	return spec, nil
+}
+
+// Draining reports whether Close has begun: the manager no longer accepts
+// jobs and is cancelling in-flight work. Surfaced by /readyz.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
 }
 
 // Submit normalizes and enqueues a job. It fails fast with ErrQueueFull when
@@ -608,22 +643,35 @@ func (m *Manager) runner() {
 	}
 }
 
-// finish finalizes a job's state, result, and metrics.
+// finish finalizes a job's state, result, and metrics. On failure the typed
+// cause is classified into JobStatus.FailureReason and any partial result
+// (samples produced before the failure) is preserved with Partial set.
 func (m *Manager) finish(job *Job, result *JobResult, err error) {
 	job.mu.Lock()
 	job.finished = time.Now()
+	var bu *osn.BackendUnavailableError
 	switch {
 	case err == nil:
 		job.state = JobDone
 		job.result = result
 		m.met.jobsDone.Add(1)
-	case errors.Is(err, context.Canceled):
+	case errors.Is(err, context.Canceled) && !errors.As(err, &bu):
 		job.state = JobCancelled
 		job.errMsg = err.Error()
 		m.met.jobsCancelled.Add(1)
 	default:
 		job.state = JobFailed
 		job.errMsg = err.Error()
+		switch {
+		case errors.As(err, &bu):
+			job.reason = ReasonBackendUnavailable
+		case errors.Is(err, context.DeadlineExceeded):
+			job.reason = ReasonDeadlineExceeded
+		}
+		if result != nil {
+			result.Partial = true
+			job.result = result
+		}
 		m.met.jobsFailed.Add(1)
 	}
 	run := job.finished.Sub(job.started)
@@ -632,15 +680,30 @@ func (m *Manager) finish(job *Job, result *JobResult, err error) {
 	m.met.runDur.Observe(run)
 }
 
-// run executes one job on the calling runner goroutine.
+// run executes one job on the calling runner goroutine. On failure it
+// returns the samples produced so far as a partial result alongside the
+// error, so degradation is graceful: a backend outage or deadline overrun
+// voids only the remainder of the job, never the work already streamed.
 func (m *Manager) run(job *Job) (*JobResult, error) {
 	spec := job.spec
 	d, err := walk.ByName(spec.Design)
 	if err != nil {
 		return nil, err
 	}
+	// The run context layers, derived from the job's cancellable context:
+	// an optional per-job deadline, and the failure-cancel hook that lets
+	// the resilience middleware cancel this job with a typed
+	// BackendUnavailableError when its retry policy gives up. Both causes
+	// surface through context.Cause and are classified by finish.
+	runCtx := job.ctx
+	if spec.DeadlineMS > 0 {
+		var cancelDL context.CancelFunc
+		runCtx, cancelDL = context.WithTimeout(runCtx, time.Duration(spec.DeadlineMS)*time.Millisecond)
+		defer cancelDL()
+	}
+	runCtx = osn.WithFailureCancel(runCtx, job.cancel)
 	rng := fastrand.New(spec.Seed)
-	c := m.eng.NewClient(rng)
+	c := m.eng.NewClientCtx(runCtx, rng)
 	fleetBefore := c.TotalQueries()
 
 	onSample := func(ev core.SampleEvent) {
@@ -655,8 +718,12 @@ func (m *Manager) run(job *Job) (*JobResult, error) {
 		// cancellation check per step.
 		u := *spec.Start
 		for i := 1; i <= spec.Count; i++ {
-			if err := job.ctx.Err(); err != nil {
-				return nil, err
+			if runCtx.Err() != nil {
+				return &JobResult{
+					Samples:      i - 1,
+					Queries:      c.TotalQueries() - fleetBefore,
+					FleetQueries: c.TotalQueries(),
+				}, context.Cause(runCtx)
 			}
 			u = d.Step(c, u, rng)
 			s := Sample{Index: i - 1, Node: u, Steps: i, Cost: c.TotalQueries()}
@@ -686,9 +753,9 @@ func (m *Manager) run(job *Job) (*JobResult, error) {
 		if !spec.NoCrawl {
 			// Reuse (or build-and-memoize) the crawl table instead of
 			// letting the sampler crawl per job.
-			ct, err := m.eng.crawlTable(c, d, *spec.Start, spec.CrawlHops)
+			ct, err := m.eng.crawlTable(runCtx, c, d, *spec.Start, spec.CrawlHops)
 			if err != nil {
-				return nil, err
+				return nil, primaryCause(runCtx, err)
 			}
 			cfg.Crawl = ct
 		}
@@ -702,12 +769,9 @@ func (m *Manager) run(job *Job) (*JobResult, error) {
 		s.OnSample = onSample
 		var res walk.Result
 		if spec.Workers > 1 {
-			res, err = s.SampleNParallelCtx(job.ctx, spec.Count, spec.Workers)
+			res, err = s.SampleNParallelCtx(runCtx, spec.Count, spec.Workers)
 		} else {
-			res, err = s.SampleNCtx(job.ctx, spec.Count)
-		}
-		if err != nil {
-			return nil, err
+			res, err = s.SampleNCtx(runCtx, spec.Count)
 		}
 		out := &JobResult{
 			Samples:        res.Len(),
@@ -716,13 +780,18 @@ func (m *Manager) run(job *Job) (*JobResult, error) {
 			AcceptanceRate: s.AcceptanceRate(),
 			Nodes:          res.Nodes,
 		}
+		if err != nil {
+			// The samplers return the in-order prefix drawn before the
+			// error; keep it as the partial result.
+			return out, primaryCause(runCtx, err)
+		}
 		if spec.Type == TypeEstimateMean {
-			if err := job.ctx.Err(); err != nil {
-				return nil, err
+			if runCtx.Err() != nil {
+				return out, context.Cause(runCtx)
 			}
 			est, err := agg.EstimateMean(c, d, spec.Attr, res.Nodes)
 			if err != nil {
-				return nil, err
+				return out, primaryCause(runCtx, err)
 			}
 			out.Estimate = &est
 			out.Queries = c.TotalQueries() - fleetBefore
@@ -731,6 +800,21 @@ func (m *Manager) run(job *Job) (*JobResult, error) {
 		return out, nil
 	}
 	return nil, fmt.Errorf("serve: unknown job type %q", spec.Type)
+}
+
+// primaryCause resolves which error really failed the run: when the run
+// context was cancelled, its cause (the typed backend failure, the deadline,
+// or the user's cancel) is the primary failure and err is downstream fallout
+// — a backend giving up mid-access degrades that access to an empty answer,
+// and whatever the sampler tripped over next (an impossible walk state, a
+// missing attribute) is a symptom, not the cause.
+func primaryCause(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		if cause := context.Cause(ctx); cause != nil {
+			return cause
+		}
+	}
+	return err
 }
 
 // trimID strips an optional "/stream" suffix and leading/trailing slashes

@@ -6,6 +6,8 @@ import (
 	"math"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/osn"
 )
 
 // Histogram is a fixed-bucket latency histogram in the Prometheus
@@ -146,6 +148,26 @@ func (m *Metrics) WriteProm(w io.Writer, eng *Engine, retained int) {
 	if sim := eng.Sim(); sim != nil {
 		counter("walknotwait_backend_round_trips_total", "Simulated remote round trips.", sim.RoundTrips())
 		gauge("walknotwait_backend_simulated_wait_seconds_total", "Total simulated latency charged.", sim.SimulatedWait().Seconds())
+	}
+
+	if res := eng.Resilient(); res != nil {
+		rs := res.Stats()
+		counter("walknotwait_backend_retries_total", "Backend accesses retried by the resilience middleware.", rs.Retries)
+		counter("walknotwait_backend_retries_absorbed_total", "Backend accesses that succeeded after at least one retry.", rs.Absorbed)
+		counter("walknotwait_backend_failures_total", "Backend accesses given up on after exhausting the retry policy.", rs.Failures)
+		counter("walknotwait_backend_breaker_opens_total", "Circuit breaker transitions to open.", rs.BreakerOpens)
+		gauge("walknotwait_backend_breaker_state", "Circuit breaker state (0=closed, 1=open, 2=half-open).", float64(rs.Breaker))
+		gauge("walknotwait_backend_retry_budget", "Retry-budget tokens remaining.", rs.BudgetRemaining)
+	}
+
+	if fs := eng.Faults(); fs != nil {
+		st := fs.Stats()
+		counter("walknotwait_backend_attempts_total", "Round trips seen by the fault injector.", st.Attempts)
+		fmt.Fprintf(w, "# HELP walknotwait_backend_faults_total Faults injected, by kind.\n")
+		fmt.Fprintf(w, "# TYPE walknotwait_backend_faults_total counter\n")
+		for k, n := range st.Injected {
+			fmt.Fprintf(w, "walknotwait_backend_faults_total{kind=%q} %d\n", osn.FaultKind(k).String(), n)
+		}
 	}
 
 	fmt.Fprintf(w, "# HELP walknotwait_stage_seconds Per-stage job latency.\n")

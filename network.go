@@ -1,7 +1,9 @@
 package walknotwait
 
 import (
+	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/osn"
@@ -135,6 +137,126 @@ func OpenBackend(path, kind string, latency, jitter time.Duration, fanout int) (
 		return NewRemoteSim(inner, latency, jitter, fanout), cleanup, nil
 	}
 	return nil, nil, fmt.Errorf("unknown backend %q (want mem, disk or sim)", kind)
+}
+
+// FaultSim wraps a backend with a deterministic, seeded fault schedule:
+// transient errors, timeouts, rate-limit rejections with a retry-after hint,
+// and full-outage windows — a pure function of (seed, attempt number), so a
+// fixed seed reproduces the identical fault sequence.
+type FaultSim = osn.FaultSim
+
+// FaultConfig parameterizes a FaultSim.
+type FaultConfig = osn.FaultConfig
+
+// FaultError is one injected backend failure.
+type FaultError = osn.FaultError
+
+// ResilientBackend is the retry/backoff/circuit-breaker middleware over a
+// fallible backend: transient faults are absorbed below the metered Client
+// (retries never perturb sampling RNG or query charges), and policy
+// exhaustion surfaces as a typed BackendUnavailableError that cancels the
+// owning job context.
+type ResilientBackend = osn.ResilientBackend
+
+// ResilientPolicy parameterizes a ResilientBackend; zero fields select
+// defaults.
+type ResilientPolicy = osn.ResilientPolicy
+
+// BackendUnavailableError is the resilience layer's typed give-up error.
+type BackendUnavailableError = osn.BackendUnavailableError
+
+// BreakerState is the circuit-breaker state (closed, open, half-open).
+type BreakerState = osn.BreakerState
+
+// NewFaultSim wraps inner with a deterministic fault schedule.
+func NewFaultSim(inner Backend, cfg FaultConfig) (*FaultSim, error) {
+	return osn.NewFaultSim(inner, cfg)
+}
+
+// NewResilientBackend wraps inner (typically a FaultSim or a live remote
+// backend) with retry/backoff/circuit-breaker middleware.
+func NewResilientBackend(inner Backend, pol ResilientPolicy) *ResilientBackend {
+	return osn.NewResilientBackend(inner, pol)
+}
+
+// WithFailureCancel attaches a cancel-cause hook to ctx; a ResilientBackend
+// below a Client bound to this context cancels it with the typed
+// BackendUnavailableError when its retry policy gives up.
+func WithFailureCancel(ctx context.Context, cancel context.CancelCauseFunc) context.Context {
+	return osn.WithFailureCancel(ctx, cancel)
+}
+
+// FaultOptions is the CLI-friendly fault-injection surface shared by the
+// wesample and weserve commands: a flat fault rate (split evenly between
+// transient and timeout faults with a dash of rate limiting), a schedule
+// seed, an optional "start+dur" outage window, and a retry cap.
+type FaultOptions struct {
+	// Rate is the total per-round-trip fault probability in [0, 1); 0
+	// disables injection entirely (the backend is not wrapped).
+	Rate float64
+	// Seed drives the deterministic fault schedule (default 1).
+	Seed int64
+	// Outage, when non-empty, is a wall-clock outage window "start+dur"
+	// (e.g. "2s+500ms") measured from backend construction.
+	Outage string
+	// Retries caps the resilience middleware's attempts per access
+	// (0 selects the policy default).
+	Retries int
+}
+
+// WrapFaults wraps be with a FaultSim and a ResilientBackend per opts. With
+// a zero Rate and no Outage it returns be unchanged — the fault-free path
+// stays bit-identical to an unwrapped backend. The returned FaultSim and
+// ResilientBackend are non-nil only when wrapping happened.
+func WrapFaults(be Backend, opts FaultOptions) (Backend, *FaultSim, *ResilientBackend, error) {
+	if opts.Rate == 0 && opts.Outage == "" {
+		return be, nil, nil, nil
+	}
+	if opts.Rate < 0 || opts.Rate >= 1 {
+		return nil, nil, nil, fmt.Errorf("fault rate %v out of [0, 1)", opts.Rate)
+	}
+	cfg := FaultConfig{
+		Seed: opts.Seed,
+		// Split the flat rate: mostly transient, some timeouts, a sliver of
+		// rate limiting — the mix a live platform presents.
+		TransientRate: opts.Rate * 0.6,
+		TimeoutRate:   opts.Rate * 0.3,
+		RateLimitRate: opts.Rate * 0.1,
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if opts.Outage != "" {
+		start, dur, err := parseOutage(opts.Outage)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		cfg.OutageStart, cfg.OutageDur = start, dur
+	}
+	fs, err := NewFaultSim(be, cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	res := NewResilientBackend(fs, ResilientPolicy{MaxRetries: opts.Retries})
+	return res, fs, res, nil
+}
+
+// parseOutage parses a "start+dur" wall-clock outage window.
+func parseOutage(s string) (start, dur time.Duration, err error) {
+	a, b, ok := strings.Cut(s, "+")
+	if !ok {
+		return 0, 0, fmt.Errorf("outage %q: want start+dur (e.g. 2s+500ms)", s)
+	}
+	if start, err = time.ParseDuration(a); err != nil {
+		return 0, 0, fmt.Errorf("outage start: %w", err)
+	}
+	if dur, err = time.ParseDuration(b); err != nil {
+		return 0, 0, fmt.Errorf("outage duration: %w", err)
+	}
+	if start < 0 || dur <= 0 {
+		return 0, 0, fmt.Errorf("outage %q: want start >= 0 and dur > 0", s)
+	}
+	return start, dur, nil
 }
 
 // NewClient creates a metered client over a network. rng may be a

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Chaos smoke (ISSUE 6): prove the fault-injection + resilience stack holds
+# under load, two ways.
+#
+#   1. Run the chaos property tests (internal/serve TestChaos*, internal/osn
+#      fault/resilient suites) under -race: deterministic schedules, bit-
+#      identical absorbed-fault runs, typed mid-job failure, breaker-driven
+#      readiness — all with the race detector watching the retry machinery.
+#   2. Boot weserve with a seeded fault injector (-faultrate), drive it with
+#      an open-loop weload burst, and merge the injector/retry/breaker
+#      counters into BENCH_serve.json under a "chaos" key (the cold/warm
+#      record from bench_serve.sh is preserved when present).
+#
+# The acceptance criteria this record demonstrates:
+#   - faults were actually injected (faults > 0 — the run exercised the stack);
+#   - every injected fault was absorbed by retries (failures == 0, zero
+#     failed jobs) at the modest smoke rate;
+#   - the daemon stayed ready and produced non-zero throughput throughout.
+#
+# Usage: scripts/chaos_smoke.sh [jobs] [rate_jobs_per_sec]   (defaults 12, 20)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-12}"
+RATE="${2:-20}"
+OUT="BENCH_serve.json"
+ADDR="127.0.0.1:17127"
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== chaos property tests (-race) =="
+go test -race -run 'TestChaos' ./internal/serve/
+go test -race -run 'TestFault|TestResilient' ./internal/osn/
+
+echo "== fault-injected daemon under open-loop load =="
+go build -o "$WORK/" ./cmd/wegen ./cmd/weserve ./cmd/weload
+
+"$WORK/wegen" -model ba -n 3000 -m 3 -seed 7 -format csr -out "$WORK/g.csr"
+
+# Simulated remote latency under a 2% seeded fault schedule: plenty of real
+# round trips for the injector to bite, all absorbable by the default policy.
+"$WORK/weserve" -in "$WORK/g.csr" -backend sim -latency 1ms -jitter 250us \
+  -faultrate 0.02 -fault-seed 7 \
+  -addr "$ADDR" -runners 2 -worker-budget 4 >"$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+
+"$WORK/weload" -addr "$ADDR" -wait 15s -jobs "$JOBS" -rate "$RATE" \
+  -count 25 -workers 2 -label chaos -out "$WORK/chaos.json"
+
+python3 - "$WORK" "$OUT" "$ADDR" <<'EOF'
+import json, sys, urllib.request
+
+work, out, addr = sys.argv[1], sys.argv[2], sys.argv[3]
+chaos = json.load(open(f"{work}/chaos.json"))
+
+with urllib.request.urlopen(f"http://{addr}/readyz", timeout=5) as r:
+    ready = json.load(r)
+if not ready.get("ready"):
+    raise SystemExit(f"daemon not ready after the chaos burst: {ready}")
+
+be = chaos.get("backend")
+if not be:
+    raise SystemExit("weload recorded no backend counters (metrics scrape failed?)")
+if be["faults"] <= 0:
+    raise SystemExit("no faults injected — the smoke exercised nothing")
+if be["failures"] != 0:
+    raise SystemExit(f"{be['failures']} give-ups at smoke rate (want all absorbed)")
+if chaos["errors"] or chaos.get("failure_reasons"):
+    raise SystemExit(
+        f"job failures under absorbable faults: errors={chaos['errors']} "
+        f"reasons={chaos.get('failure_reasons')}")
+if chaos["samples_per_sec"] <= 0:
+    raise SystemExit("no throughput under injected faults")
+
+try:
+    record = json.load(open(out))
+except (FileNotFoundError, json.JSONDecodeError):
+    record = {
+        "graph": {"model": "ba", "n": 3000, "m": 3, "seed": 7},
+        "backend": {"kind": "sim", "latency_ms": 1, "jitter_ms": 0.25},
+    }
+record["chaos"] = {
+    "fault_rate": 0.02,
+    "fault_seed": 7,
+    "load": chaos,
+    "absorption": {
+        "faults_injected": be["faults"],
+        "retries": be["retries"],
+        "retries_absorbed": be["retries_absorbed"],
+        "give_ups": be["failures"],
+    },
+}
+json.dump(record, open(out, "w"), indent=2)
+print(f"injected {be['faults']} faults, {be['retries']} retries, "
+      f"{be['retries_absorbed']} absorbed, 0 give-ups at "
+      f"{chaos['samples_per_sec']:.1f} samples/s; wrote {out}")
+EOF
