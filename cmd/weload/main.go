@@ -10,6 +10,14 @@
 // backend — the backend fault/retry/failure counters scraped from /metrics
 // across the run, as a JSON record, the raw material of BENCH_serve.json.
 //
+// Submissions turned away with a load-shedding 503 (queue full or draining)
+// are retried up to 5 times, honoring the daemon's Retry-After hint with a
+// capped backoff; jobs still shed afterwards are counted in "shed" (apart
+// from "errors") and every 503-triggered re-submission in "submit_retries".
+// Open-loop submission cadence is unaffected — retries ride inside each
+// job's goroutine, so the extra wait shows up as latency, never as reduced
+// offered load (coordinated omission stays out of the numbers).
+//
 // Usage:
 //
 //	weload -addr 127.0.0.1:7117 -jobs 16 -concurrency 4 -count 20 -workers 2
@@ -33,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -79,6 +88,12 @@ type record struct {
 	CountPerJob   int     `json:"count_per_job"`
 	WorkersPerJob int     `json:"workers_per_job"`
 	Errors        int     `json:"errors"`
+	// Shed counts jobs the daemon turned away with a load-shedding 503
+	// (queue full or draining) that were still shed after exhausting the
+	// submit retries. SubmitRetries counts every 503-triggered
+	// re-submission, including those that eventually got through.
+	Shed          int   `json:"shed"`
+	SubmitRetries int64 `json:"submit_retries"`
 	// FailureReasons counts failed jobs by the daemon's typed reason
 	// ("backend_unavailable", "deadline_exceeded", or the terminal state
 	// when no reason was attached).
@@ -87,7 +102,7 @@ type record struct {
 	WallS          float64          `json:"wall_s"`
 	SamplesPerSec  float64          `json:"samples_per_sec"`
 	JobsPerSec     float64          `json:"jobs_per_sec"`
-	LatencyMS     struct {
+	LatencyMS      struct {
 		Mean float64 `json:"mean"`
 		P50  float64 `json:"p50"`
 		P90  float64 `json:"p90"`
@@ -151,6 +166,8 @@ func run(addr string, jobs, conc, count, workers int, design, jobType string,
 		next       atomic.Int64
 		samples    atomic.Int64
 		errs       atomic.Int64
+		shed       atomic.Int64
+		subRetries atomic.Int64
 		fleetQ     atomic.Int64
 		mu         sync.Mutex
 		latencies  []float64
@@ -164,27 +181,36 @@ func run(addr string, jobs, conc, count, workers int, design, jobType string,
 			s = seed
 		}
 		t0 := time.Now()
-		n, fq, stamps, reason, err := runJob(client, base, jobType, design, count, workers, s)
-		samples.Add(n)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "weload: job %d: %v\n", i, err)
+		res := runJob(client, base, jobType, design, count, workers, s)
+		samples.Add(res.samples)
+		subRetries.Add(res.submitRetries)
+		if res.shed {
+			// Shed jobs are the daemon saying "not now", not a failure of
+			// either side — counted apart from errors and kept out of the
+			// latency population (they never ran).
+			fmt.Fprintf(os.Stderr, "weload: job %d: shed: %v\n", i, res.err)
+			shed.Add(1)
+			return
+		}
+		if res.err != nil {
+			fmt.Fprintf(os.Stderr, "weload: job %d: %v\n", i, res.err)
 			errs.Add(1)
-			if reason != "" {
+			if res.reason != "" {
 				mu.Lock()
-				reasons[reason]++
+				reasons[res.reason]++
 				mu.Unlock()
 			}
 			return
 		}
-		if fq > 0 {
+		if res.fleetQueries > 0 {
 			// Best-effort meter read: never let a failed status
 			// fetch zero out a valid reading from an earlier job.
-			fleetQ.Store(fq)
+			fleetQ.Store(res.fleetQueries)
 		}
 		d := time.Since(t0)
 		mu.Lock()
 		latencies = append(latencies, float64(d)/float64(time.Millisecond))
-		sampleLats = append(sampleLats, stamps...)
+		sampleLats = append(sampleLats, res.stamps...)
 		mu.Unlock()
 	}
 
@@ -236,10 +262,12 @@ func run(addr string, jobs, conc, count, workers int, design, jobType string,
 		Label: label, Addr: base, Type: jobType, Mode: mode, OfferedRate: rate,
 		Design: design,
 		Jobs:   jobs, Concurrency: conc, CountPerJob: count, WorkersPerJob: workers,
-		Errors:       int(errs.Load()),
-		Samples:      samples.Load(),
-		WallS:        wall.Seconds(),
-		FleetQueries: fleetQ.Load(),
+		Errors:        int(errs.Load()),
+		Shed:          int(shed.Load()),
+		SubmitRetries: subRetries.Load(),
+		Samples:       samples.Load(),
+		WallS:         wall.Seconds(),
+		FleetQueries:  fleetQ.Load(),
 	}
 	if len(reasons) > 0 {
 		rec.FailureReasons = reasons
@@ -254,7 +282,7 @@ func run(addr string, jobs, conc, count, workers int, design, jobType string,
 	}
 	if wall > 0 {
 		rec.SamplesPerSec = float64(rec.Samples) / wall.Seconds()
-		rec.JobsPerSec = float64(jobs-rec.Errors) / wall.Seconds()
+		rec.JobsPerSec = float64(jobs-rec.Errors-rec.Shed) / wall.Seconds()
 	}
 	sort.Float64s(latencies)
 	if len(latencies) > 0 {
@@ -293,13 +321,86 @@ func run(addr string, jobs, conc, count, workers int, design, jobType string,
 	return os.WriteFile(out, enc, 0o644)
 }
 
-// runJob submits one job and follows its NDJSON stream to completion,
-// returning the number of samples produced, the fleet-wide query meter
-// reported by the terminal status, the per-sample stream timestamps — for
-// each sample line, milliseconds from the job's submission to the line's
-// arrival on the stream — and, for failed jobs, the daemon's typed failure
-// reason (falling back to the terminal state).
-func runJob(client *http.Client, base, jobType, design string, count, workers int, seed int64) (int64, int64, []float64, string, error) {
+// jobResult is everything one job attempt yields: the sample count, the
+// fleet-wide query meter from the terminal status, per-sample stream
+// timestamps (ms from submission to each line's arrival), how many
+// load-shedding 503s were retried through, whether the job was ultimately
+// shed, and — for failed jobs — the daemon's typed failure reason.
+type jobResult struct {
+	samples       int64
+	fleetQueries  int64
+	stamps        []float64
+	submitRetries int64
+	shed          bool
+	reason        string
+	err           error
+}
+
+// Load-shedding 503s are retried with the daemon's own backoff hint
+// (retry_after_ms in the body, else the Retry-After header), falling back to
+// 100ms doubling, everything capped — an overloaded service gets breathing
+// room without the client waiting forever.
+const (
+	maxSubmitRetries = 5
+	maxRetryBackoff  = 2 * time.Second
+)
+
+// submitJob POSTs the spec, retrying load-shedding 503s up to
+// maxSubmitRetries times. Returns the job id, the retry count, and whether
+// the job was shed after exhausting the retries.
+func submitJob(client *http.Client, base string, body []byte) (string, int64, bool, error) {
+	var retries int64
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return "", retries, false, err
+		}
+		sub, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusAccepted {
+			var st struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(sub, &st); err != nil {
+				return "", retries, false, fmt.Errorf("submit response: %v", err)
+			}
+			return st.ID, retries, false, nil
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			return "", retries, false, fmt.Errorf("submit: %d %s", resp.StatusCode, bytes.TrimSpace(sub))
+		}
+		if attempt >= maxSubmitRetries {
+			return "", retries, true, fmt.Errorf("submit: %d %s (after %d retries)", resp.StatusCode, bytes.TrimSpace(sub), retries)
+		}
+		retries++
+		time.Sleep(retryDelay(resp, sub, attempt))
+	}
+}
+
+// retryDelay picks the pause before re-submitting after a 503: the daemon's
+// hint if it sent one, else exponential from 100ms, capped at
+// maxRetryBackoff.
+func retryDelay(resp *http.Response, body []byte, attempt int) time.Duration {
+	d := 100 * time.Millisecond << attempt
+	var hint struct {
+		RetryAfterMS int64 `json:"retry_after_ms"`
+	}
+	if json.Unmarshal(body, &hint) == nil && hint.RetryAfterMS > 0 {
+		d = time.Duration(hint.RetryAfterMS) * time.Millisecond
+	} else if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			d = time.Duration(secs) * time.Second
+		}
+	}
+	if d > maxRetryBackoff {
+		d = maxRetryBackoff
+	}
+	return d
+}
+
+// runJob submits one job (retrying load-shedding 503s) and follows its
+// NDJSON stream to completion.
+func runJob(client *http.Client, base, jobType, design string, count, workers int, seed int64) jobResult {
 	spec := map[string]any{
 		"type":    jobType,
 		"design":  design,
@@ -309,29 +410,20 @@ func runJob(client *http.Client, base, jobType, design string, count, workers in
 	}
 	body, _ := json.Marshal(spec)
 	submitted := time.Now()
-	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	id, retries, wasShed, err := submitJob(client, base, body)
+	res := jobResult{submitRetries: retries, shed: wasShed}
 	if err != nil {
-		return 0, 0, nil, "", err
-	}
-	sub, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		return 0, 0, nil, "", fmt.Errorf("submit: %d %s", resp.StatusCode, bytes.TrimSpace(sub))
-	}
-	var st struct {
-		ID string `json:"id"`
-	}
-	if err := json.Unmarshal(sub, &st); err != nil {
-		return 0, 0, nil, "", fmt.Errorf("submit response: %v", err)
+		res.err = err
+		return res
 	}
 
-	resp, err = client.Get(base + "/v1/jobs/" + st.ID + "/stream")
+	resp, err := client.Get(base + "/v1/jobs/" + id + "/stream")
 	if err != nil {
-		return 0, 0, nil, "", err
+		res.err = err
+		return res
 	}
 	defer resp.Body.Close()
-	var n int64
-	stamps := make([]float64, 0, count)
+	res.stamps = make([]float64, 0, count)
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	var terminal struct {
@@ -354,24 +446,26 @@ func runJob(client *http.Client, base, jobType, design string, count, workers in
 		if err := json.Unmarshal(line, &s); err != nil || s.Node == nil {
 			continue
 		}
-		n++
-		stamps = append(stamps, float64(time.Since(submitted))/float64(time.Millisecond))
+		res.samples++
+		res.stamps = append(res.stamps, float64(time.Since(submitted))/float64(time.Millisecond))
 	}
 	if err := sc.Err(); err != nil {
-		return n, 0, stamps, "", err
+		res.err = err
+		return res
 	}
 	if terminal.State != "done" {
-		reason := terminal.FailureReason
-		if reason == "" {
-			reason = terminal.State
+		res.reason = terminal.FailureReason
+		if res.reason == "" {
+			res.reason = terminal.State
 		}
-		return n, 0, stamps, reason, fmt.Errorf("job %s ended %q (%s): %s", st.ID, terminal.State, reason, terminal.Error)
+		res.err = fmt.Errorf("job %s ended %q (%s): %s", id, terminal.State, res.reason, terminal.Error)
+		return res
 	}
 
 	// One status read for the fleet meter after the job.
-	resp, err = client.Get(base + "/v1/jobs/" + st.ID)
+	resp, err = client.Get(base + "/v1/jobs/" + id)
 	if err != nil {
-		return n, 0, stamps, "", nil // stream already succeeded; meter is best-effort
+		return res // stream already succeeded; meter is best-effort
 	}
 	defer resp.Body.Close()
 	var full struct {
@@ -380,9 +474,9 @@ func runJob(client *http.Client, base, jobType, design string, count, workers in
 		} `json:"result"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&full); err == nil && full.Result != nil {
-		return n, full.Result.FleetQueries, stamps, "", nil
+		res.fleetQueries = full.Result.FleetQueries
 	}
-	return n, 0, stamps, "", nil
+	return res
 }
 
 // scrapeBackend reads the daemon's /metrics and extracts the backend

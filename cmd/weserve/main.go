@@ -10,6 +10,13 @@
 //	weserve -in graph.txt -backend sim -latency 10ms -jitter 2ms
 //	weserve -in graph.csr -backend disk -runners 4 -worker-budget 16
 //	weserve -in graph.txt -backend sim -faultrate 0.01 -retries 8
+//	weserve -in graph.csr -journal /var/lib/weserve/journal -fsync interval
+//
+// With -journal set, job lifecycle events are appended to a crash-safe
+// journal: on restart, finished jobs are served from their durable records
+// (zero new walk steps) and interrupted jobs resume by deterministic re-run,
+// producing a client-visible stream bit-identical to an uninterrupted run.
+// /readyz reports "recovering" (503) until resumed jobs catch back up.
 //
 // With -faultrate > 0 (or -outage) the backend is wrapped with a seeded
 // deterministic fault injector and the retry/backoff/circuit-breaker
@@ -58,15 +65,26 @@ func main() {
 		faultSeed = flag.Int64("fault-seed", 1, "seed of the deterministic fault schedule")
 		outage    = flag.String("outage", "", "full-outage window start+dur from startup, e.g. 2s+500ms")
 		retries   = flag.Int("retries", 0, "max retries per backend access (0 = policy default)")
+
+		journal    = flag.String("journal", "", "job-journal directory (empty disables durability)")
+		fsync      = flag.String("fsync", "interval", "journal fsync policy: always | interval | off")
+		fsyncEvery = flag.Duration("fsync-interval", 100*time.Millisecond, "fsync cadence under -fsync interval")
+		segBytes   = flag.Int64("segment-bytes", 8<<20, "journal segment size before snapshot+rotation")
 	)
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "weserve: -in is required")
 		os.Exit(2)
 	}
+	policy, err := serve.ParseFsyncPolicy(*fsync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "weserve:", err)
+		os.Exit(2)
+	}
+	jcfg := serve.JournalConfig{Dir: *journal, Fsync: policy, FsyncEvery: *fsyncEvery, SegmentBytes: *segBytes}
 	faults := wnw.FaultOptions{Rate: *faultRate, Seed: *faultSeed, Outage: *outage, Retries: *retries}
 	if err := run(*in, *backend, *latency, *jitter, *fanout, faults, *addr,
-		*queue, *runners, *budget, *maxWork, *retain, *sweep); err != nil {
+		*queue, *runners, *budget, *maxWork, *retain, *sweep, jcfg); err != nil {
 		fmt.Fprintln(os.Stderr, "weserve:", err)
 		os.Exit(1)
 	}
@@ -74,7 +92,7 @@ func main() {
 
 func run(in, backendName string, latency, jitter time.Duration, fanout int,
 	faults wnw.FaultOptions, addr string, queue, runners, budget, maxWork int,
-	retention, sweep time.Duration) error {
+	retention, sweep time.Duration, jcfg serve.JournalConfig) error {
 	be, cleanup, err := wnw.OpenBackend(in, backendName, latency, jitter, fanout)
 	if err != nil {
 		return err
@@ -91,6 +109,14 @@ func run(in, backendName string, latency, jitter time.Duration, fanout int,
 
 	net := wnw.NewNetworkOn(be)
 	eng := serve.NewEngine(net)
+	var jl *serve.Journal
+	if jcfg.Dir != "" {
+		jl, err = serve.OpenJournal(jcfg)
+		if err != nil {
+			return fmt.Errorf("open journal: %w", err)
+		}
+		log.Printf("weserve: journal %q fsync=%s segment-bytes=%d", jcfg.Dir, jcfg.Fsync, jcfg.SegmentBytes)
+	}
 	mgr := serve.NewManager(eng, serve.Config{
 		QueueDepth:       queue,
 		Runners:          runners,
@@ -98,7 +124,14 @@ func run(in, backendName string, latency, jitter time.Duration, fanout int,
 		MaxWorkersPerJob: maxWork,
 		Retention:        retention,
 		SweepInterval:    sweep,
+		Journal:          jl,
 	})
+	if jl != nil {
+		resumed, rehydrated := mgr.RecoveredCounts()
+		if resumed+rehydrated > 0 {
+			log.Printf("weserve: journal recovery: %d resumed, %d rehydrated", resumed, rehydrated)
+		}
+	}
 	cfg := mgr.Config()
 	log.Printf("weserve: graph %q (%d nodes) backend=%s addr=%s runners=%d worker-budget=%d queue=%d retention=%v",
 		in, net.NumNodes(), backendName, addr, cfg.Runners, cfg.WorkerBudget, cfg.QueueDepth, cfg.Retention)

@@ -1,0 +1,346 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/osn"
+)
+
+// Kill-9 integration tests: a real daemon subprocess (this test binary
+// re-exec'd into helperProcess) serving the journal-backed manager over
+// HTTP, killed without warning mid-stream, restarted on the same journal
+// directory, and checked against an uninterrupted in-process reference run.
+
+// TestHelperProcess is not a test: it is the daemon subprocess. It builds
+// the same graph as testNetwork behind a slow simulated backend (so jobs
+// are killable mid-stream), opens the journal directory from the
+// environment, serves the HTTP API on an ephemeral port written to the
+// addr file, and runs until SIGTERM (graceful drain) or SIGKILL.
+func TestHelperProcess(t *testing.T) {
+	if os.Getenv("WNW_SERVE_HELPER") != "1" {
+		t.Skip("helper process, not a test")
+	}
+	dir := os.Getenv("WNW_JOURNAL_DIR")
+	addrFile := os.Getenv("WNW_ADDR_FILE")
+	if dir == "" || addrFile == "" {
+		t.Fatal("helper needs WNW_JOURNAL_DIR and WNW_ADDR_FILE")
+	}
+	jl, err := OpenJournal(JournalConfig{Dir: dir, Fsync: FsyncInterval, FsyncEvery: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.BarabasiAlbert(300, 3, rand.New(rand.NewSource(42)))
+	sim := osn.NewRemoteSim(osn.NewMemBackend(g), 500*time.Microsecond, 0, 8)
+	m := NewManager(NewEngine(osn.NewNetworkOn(sim)),
+		Config{Runners: 1, WorkerBudget: 4, Journal: jl})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write-then-rename so the parent never reads a half-written address.
+	tmp := addrFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, addrFile); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := &http.Server{Handler: Handler(m)}
+	go srv.Serve(ln)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM)
+	<-sig
+	// SIGTERM: graceful drain — cancel in-flight jobs, journal their
+	// terminals, flush and fsync. SIGKILL never reaches here.
+	m.Close()
+	srv.Close()
+}
+
+// helperCmd spawns this test binary as the daemon subprocess and waits for
+// its HTTP address.
+func helperCmd(t *testing.T, dir, addrFile string) (*exec.Cmd, string) {
+	t.Helper()
+	os.Remove(addrFile)
+	cmd := exec.Command(os.Args[0], "-test.run=TestHelperProcess$")
+	cmd.Env = append(os.Environ(),
+		"WNW_SERVE_HELPER=1",
+		"WNW_JOURNAL_DIR="+dir,
+		"WNW_ADDR_FILE="+addrFile,
+	)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			return cmd, "http://" + string(b)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	t.Fatalf("helper never published its address; output:\n%s", out.String())
+	return nil, ""
+}
+
+// streamRows GETs a job's NDJSON stream and returns its sample rows.
+func streamRows(t *testing.T, base, id string) []Sample {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rows []Sample
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if bytes.Contains(line, []byte(`"done"`)) {
+			var term struct {
+				Done bool `json:"done"`
+			}
+			if json.Unmarshal(line, &term) == nil && term.Done {
+				break
+			}
+		}
+		var s Sample
+		if err := json.Unmarshal(line, &s); err == nil {
+			rows = append(rows, s)
+		}
+	}
+	return rows
+}
+
+func postSpec(t *testing.T, base string, spec JobSpec) string {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, b)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st.ID
+}
+
+func jobSamples(base, id string) (int, string) {
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		return -1, ""
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return -1, ""
+	}
+	return st.Samples, string(st.State)
+}
+
+// Kill -9 mid-stream, restart on the same journal, and the resumed job's
+// full client-visible stream is bit-identical to an uninterrupted run.
+func TestCrashKill9ResumeBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	spec := JobSpec{Type: TypeSample, Count: 60, Seed: 5, Workers: 2}
+
+	// Uninterrupted reference on a cold in-process engine. The subprocess
+	// serves the same graph (same generator seed); the simulated latency
+	// wrapper changes timing only, never data or charges.
+	ref := NewManager(NewEngine(testNetwork(t)), Config{Runners: 1, WorkerBudget: 4})
+	rj, err := ref.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitJob(t, rj); st.State != JobDone {
+		t.Fatalf("reference: %+v", st)
+	}
+	want := allRows(t, rj)
+	ref.Close()
+
+	cmd, base := helperCmd(t, dir, addrFile)
+	id := postSpec(t, base, spec)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		n, _ := jobSamples(base, id)
+		if n >= 10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("job never reached the kill point (samples=%d)", n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if n, state := jobSamples(base, id); state != string(JobRunning) || n >= spec.Count {
+		t.Fatalf("kill point not mid-stream: state=%s samples=%d", state, n)
+	}
+	cmd.Process.Kill() // SIGKILL: no drain, no terminal records
+	cmd.Wait()
+
+	cmd2, base2 := helperCmd(t, dir, addrFile)
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		_, state := jobSamples(base2, id)
+		if state == string(JobDone) {
+			break
+		}
+		if JobState(state).Terminal() {
+			t.Fatalf("resumed job ended %s", state)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed job never finished (state=%s)", state)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	got := streamRows(t, base2, id)
+	sameRows(t, got, want, "post-crash resumed stream")
+
+	// Recovery metrics: the restart counted one resumed job, journal appends
+	// flowed, and the recovery duration was recorded.
+	metrics := scrapeMetrics(t, base2)
+	if v := metricValue(metrics, `walknotwait_jobs_recovered_total{mode="resumed"}`); v != 1 {
+		t.Fatalf("jobs_recovered_total{resumed} = %v, want 1", v)
+	}
+	if v := metricValue(metrics, "walknotwait_journal_appends_total"); v <= 0 {
+		t.Fatalf("journal_appends_total = %v, want > 0", v)
+	}
+	if !strings.Contains(metrics, "walknotwait_recovery_seconds") {
+		t.Fatal("recovery_seconds missing from /metrics")
+	}
+}
+
+// SIGTERM drains gracefully: in-flight jobs are cancelled and journaled, the
+// journal is flushed and fsynced, and the next boot recovers exactly the
+// drained state — every job terminal, exactly once, nothing to resume.
+func TestCrashSigtermGracefulDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	cmd, base := helperCmd(t, dir, addrFile)
+
+	fastID := postSpec(t, base, JobSpec{Type: TypeSample, Count: 3, Seed: 11})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, state := jobSamples(base, fastID)
+		if state == string(JobDone) {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("fast job never finished (state=%s)", state)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	longID := postSpec(t, base, JobSpec{Type: TypeSample, Count: 1000000, Seed: 1})
+	for {
+		n, _ := jobSamples(base, longID)
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatal("long job never produced a sample")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("helper did not exit cleanly on SIGTERM: %v", err)
+	}
+
+	jl, err := OpenJournal(JournalConfig{Dir: dir, Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl.Close()
+	recs, _ := jl.Recovered()
+	if len(recs) != 2 {
+		t.Fatalf("drained journal holds %d records, want 2: %+v", len(recs), recs)
+	}
+	byID := map[string]JobRecord{}
+	for _, r := range recs {
+		if _, dup := byID[r.ID]; dup {
+			t.Fatalf("duplicate terminal record for %s", r.ID)
+		}
+		byID[r.ID] = r
+	}
+	if r := byID[fastID]; r.State != JobDone || len(r.Rows) != 3 {
+		t.Fatalf("fast job drained wrong: state=%s rows=%d", r.State, len(r.Rows))
+	}
+	if r := byID[longID]; r.State != JobCancelled {
+		t.Fatalf("long job drained wrong: state=%s, want cancelled", r.State)
+	}
+	if len(byID[longID].Rows) == 0 {
+		t.Fatal("cancelled job lost its partial samples")
+	}
+}
+
+// scrapeMetrics fetches /metrics as text.
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return string(b)
+}
+
+// metricValue extracts a metric line's value (-1 when absent).
+func metricValue(metrics, name string) float64 {
+	for _, line := range strings.Split(metrics, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			var v float64
+			if _, err := fmt.Sscanf(rest, "%g", &v); err == nil {
+				return v
+			}
+		}
+	}
+	return -1
+}

@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/osn"
 )
@@ -47,6 +49,7 @@ func Handler(m *Manager) http.Handler {
 	mux.HandleFunc("/livez", live)
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
 		draining := m.Draining()
+		recovering := m.Recovering()
 		breaker := ""
 		breakerOpen := false
 		if res := m.eng.Resilient(); res != nil {
@@ -55,12 +58,13 @@ func Handler(m *Manager) http.Handler {
 			breakerOpen = st == osn.BreakerOpen
 		}
 		code := http.StatusOK
-		if draining || breakerOpen {
+		if draining || breakerOpen || recovering {
 			code = http.StatusServiceUnavailable
 		}
 		body := map[string]any{
-			"ready":    code == http.StatusOK,
-			"draining": draining,
+			"ready":      code == http.StatusOK,
+			"draining":   draining,
+			"recovering": recovering,
 		}
 		if breaker != "" {
 			body["breaker"] = breaker
@@ -69,7 +73,7 @@ func Handler(m *Manager) http.Handler {
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		m.met.WriteProm(w, m.eng, m.RetainedJobs())
+		m.WriteProm(w)
 	})
 	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		switch r.Method {
@@ -114,15 +118,34 @@ func submit(m *Manager, w http.ResponseWriter, r *http.Request) {
 	job, err := m.Submit(spec)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, err.Error())
+		shed(w, "queue_full")
 	case errors.Is(err, ErrClosed):
-		httpError(w, http.StatusServiceUnavailable, err.Error())
+		shed(w, "draining")
 	case err != nil:
 		httpError(w, http.StatusBadRequest, err.Error())
 	default:
 		writeJSON(w, http.StatusAccepted, job.Status())
 	}
+}
+
+// shedRetryAfter is the backoff hint attached to load-shedding 503s. One
+// second clears a full queue at any realistic drain rate without turning
+// well-behaved clients into a thundering herd.
+const shedRetryAfter = time.Second
+
+// shed answers an overloaded (or draining) submission: a typed 503 with a
+// machine-readable retry hint in both the Retry-After header (whole
+// seconds) and the JSON body (milliseconds, for sub-second policies).
+func shed(w http.ResponseWriter, reason string) {
+	secs := int(shedRetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"error":          reason,
+		"retry_after_ms": shedRetryAfter.Milliseconds(),
+	})
 }
 
 // streamJob serves NDJSON: one line per accepted sample, as it is produced,

@@ -222,3 +222,81 @@ func TestHTTPCancelAndErrors(t *testing.T) {
 		t.Fatalf("state after DELETE: %s", final.State)
 	}
 }
+
+// Overload shedding over HTTP: a full queue answers a typed 503 — machine-
+// readable reason, Retry-After header, retry_after_ms body — and the shed
+// counter moves; draining answers the same shape with its own reason.
+func TestHTTPQueueFullSheds503(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 3, rand.New(rand.NewSource(7)))
+	sim := osn.NewRemoteSim(osn.NewMemBackend(g), time.Millisecond, 0, 8)
+	m := NewManager(NewEngine(osn.NewNetworkOn(sim)),
+		Config{Runners: 1, QueueDepth: 1, WorkerBudget: 2})
+	srv := httptest.NewServer(Handler(m))
+	t.Cleanup(func() { srv.Close(); m.Close() })
+
+	// Pin the runner on a long job, then fill the queue.
+	blocker := postJob(t, srv, `{"count": 1000000, "seed": 1}`)
+	bj, _ := m.Get(blocker.ID)
+	deadline := time.Now().Add(10 * time.Second)
+	for bj.Status().State == JobQueued && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	postJob(t, srv, `{"count": 1, "seed": 2}`)
+
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"count": 1, "seed": 3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submit: %d %s, want 503", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After %q, want \"1\"", ra)
+	}
+	var shed struct {
+		Error        string `json:"error"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+	}
+	if err := json.Unmarshal(body, &shed); err != nil {
+		t.Fatalf("shed body %q: %v", body, err)
+	}
+	if shed.Error != "queue_full" || shed.RetryAfterMS != 1000 {
+		t.Fatalf("shed body %+v, want {queue_full 1000}", shed)
+	}
+
+	var buf bytes.Buffer
+	m.WriteProm(&buf)
+	if !strings.Contains(buf.String(), "walknotwait_jobs_shed_total 1") {
+		t.Fatalf("shed counter missing or wrong:\n%s", grepLine(buf.String(), "jobs_shed"))
+	}
+
+	m.Cancel(blocker.ID)
+	m.Close() // draining: same typed shape, different reason
+	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"count": 1, "seed": 4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit: %d, want 503", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &shed); err != nil || shed.Error != "draining" {
+		t.Fatalf("draining body %q (%v), want error=draining", body, err)
+	}
+}
+
+// grepLine returns the lines of s containing sub (test-failure context).
+func grepLine(s, sub string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, sub) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

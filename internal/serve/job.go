@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/agg"
@@ -144,9 +145,20 @@ type JobStatus struct {
 // number of streamers can follow along.
 type Job struct {
 	id     string
+	seq    int64 // numeric id suffix, persisted for id continuity across restarts
 	spec   JobSpec
 	ctx    context.Context
 	cancel context.CancelCauseFunc
+
+	// recovered marks a job re-admitted from the journal at boot for a
+	// deterministic re-run; durable is the count of samples already in the
+	// journal (the resume path suppresses re-appends below it). journaled,
+	// when non-nil, is closed once the accepted record is durable — every
+	// later append for the job waits on it, so the journal's per-job record
+	// order is admission, progress, terminal even across goroutines.
+	recovered bool
+	durable   atomic.Int64
+	journaled chan struct{}
 
 	mu        sync.Mutex
 	cond      sync.Cond
@@ -288,6 +300,13 @@ type Config struct {
 	// SweepInterval is how often the sweeper scans for expired records.
 	// Zero selects the default: Retention/10, clamped to [1s, 1m].
 	SweepInterval time.Duration
+	// Journal, when non-nil, attaches the durability layer: job admissions,
+	// durable-sample progress, and terminal statuses are journaled, and the
+	// journal's replayed state is recovered at construction — terminal jobs
+	// rehydrate into the retained table, incomplete jobs resume via a
+	// deterministic re-run. Open it with OpenJournal; the manager takes
+	// ownership and closes it on Close.
+	Journal *Journal
 }
 
 // DefaultRetention is the terminal-job record retention used when
@@ -340,6 +359,15 @@ type Manager struct {
 
 	stopSweep chan struct{} // closed by Close to stop the retention sweeper
 
+	// Durability state (see recover.go). jl is atomic so a crash-simulating
+	// test can detach it mid-flight; Close swaps it out before closing.
+	jl             atomic.Pointer[Journal]
+	recWG          sync.WaitGroup // boot-recovery enqueue goroutine
+	recovering     atomic.Bool
+	recoverPending atomic.Int64 // resumed jobs not yet terminal
+	recoverStart   time.Time
+	recoveryDur    atomic.Int64 // ns, set when recovery completes
+
 	wg sync.WaitGroup
 }
 
@@ -356,6 +384,12 @@ func NewManager(eng *Engine, cfg Config) *Manager {
 		stopSweep: make(chan struct{}),
 	}
 	m.cond.L = &m.mu
+	m.recoverStart = time.Now()
+	if cfg.Journal != nil {
+		m.jl.Store(cfg.Journal)
+		m.recoverFromJournal(cfg.Journal)
+		cfg.Journal.SetSnapshot(m.snapshotRecords)
+	}
 	for i := 0; i < cfg.Runners; i++ {
 		m.wg.Add(1)
 		go m.runner()
@@ -396,13 +430,13 @@ func (m *Manager) Sweep(now time.Time) int {
 	}
 	cutoff := now.Add(-m.cfg.Retention)
 	m.mu.Lock()
-	evicted := 0
+	var evictedIDs []string
 	kept := m.order[:0]
 	for _, id := range m.order {
 		j := m.jobs[id]
 		if j != nil && j.expired(cutoff) {
 			delete(m.jobs, id)
-			evicted++
+			evictedIDs = append(evictedIDs, id)
 			continue
 		}
 		kept = append(kept, id)
@@ -413,10 +447,12 @@ func (m *Manager) Sweep(now time.Time) int {
 	}
 	m.order = kept
 	m.mu.Unlock()
-	if evicted > 0 {
-		m.met.jobsEvicted.Add(int64(evicted))
+	if len(evictedIDs) > 0 {
+		m.met.jobsEvicted.Add(int64(len(evictedIDs)))
+		// Journal outside m.mu: swept records must not resurrect at boot.
+		m.journalEvicted(evictedIDs)
 	}
-	return evicted
+	return len(evictedIDs)
 }
 
 // Metrics returns the manager's metric registry (for the /metrics endpoint).
@@ -510,21 +546,35 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
+		m.met.jobsShed.Add(1)
 		return nil, ErrClosed
 	}
 	m.seq++
 	id := fmt.Sprintf("job-%06d", m.seq)
 	job := newJob(id, spec, time.Now())
+	job.seq = m.seq
+	if m.journal() != nil {
+		job.journaled = make(chan struct{})
+	}
 	select {
 	case m.queue <- job:
 		m.jobs[id] = job
 		m.order = append(m.order, id)
 		m.mu.Unlock()
+		// The accepted record is appended outside m.mu (the journal may
+		// rotate, and rotation snapshots through m.mu); the runner and any
+		// canceller wait on job.journaled, so admission is always the
+		// job's first durable record.
+		if job.journaled != nil {
+			m.journalAccepted(job)
+			close(job.journaled)
+		}
 		m.met.jobsSubmitted.Add(1)
 		return job, nil
 	default:
 		m.mu.Unlock()
 		m.met.jobsRejected.Add(1)
+		m.met.jobsShed.Add(1)
 		return nil, ErrQueueFull
 	}
 }
@@ -569,7 +619,10 @@ func (m *Manager) Cancel(id string) bool {
 		return false
 	}
 	if j.Cancel() {
+		// Queued jobs never reach the runner's finish path; finalize their
+		// terminal bookkeeping (journal record, recovery debt) here.
 		m.met.jobsCancelled.Add(1)
+		m.noteTerminal(j)
 	}
 	return true
 }
@@ -590,13 +643,22 @@ func (m *Manager) Close() {
 		jobs = append(jobs, j)
 	}
 	m.mu.Unlock()
+	// The boot-recovery enqueuer must stop before the queue closes.
+	m.recWG.Wait()
 	for _, j := range jobs {
 		if j.Cancel() {
 			m.met.jobsCancelled.Add(1)
+			m.noteTerminal(j)
 		}
 	}
 	close(m.queue)
 	m.wg.Wait()
+	// Every terminal record is appended by now; a graceful drain leaves the
+	// journal flushed and fsynced, so the next boot recovers exactly the
+	// drained state.
+	if jl := m.jl.Swap(nil); jl != nil {
+		jl.Close()
+	}
 }
 
 // acquire blocks until n estimation-worker slots are free and takes them.
@@ -623,6 +685,9 @@ func (m *Manager) release(n int) {
 func (m *Manager) runner() {
 	defer m.wg.Done()
 	for job := range m.queue {
+		// A journaled job must not run (and so must not append progress)
+		// before its accepted record is durable.
+		job.waitJournaled()
 		job.mu.Lock()
 		if job.state != JobQueued { // cancelled while queued
 			job.mu.Unlock()
@@ -678,6 +743,7 @@ func (m *Manager) finish(job *Job, result *JobResult, err error) {
 	job.cond.Broadcast()
 	job.mu.Unlock()
 	m.met.runDur.Observe(run)
+	m.noteTerminal(job)
 }
 
 // run executes one job on the calling runner goroutine. On failure it
@@ -710,6 +776,9 @@ func (m *Manager) run(job *Job) (*JobResult, error) {
 		job.publish(Sample{Index: ev.Index, Node: ev.Node,
 			Steps: ev.Steps, Cost: ev.CostAfter})
 		m.met.samples.Add(1)
+		// Durability high-water mark. On a resumed job the re-run's first k
+		// samples fall inside the already-durable prefix and append nothing.
+		m.journalProgress(job, ev.Index+1)
 	}
 
 	switch spec.Type {
@@ -729,6 +798,7 @@ func (m *Manager) run(job *Job) (*JobResult, error) {
 			s := Sample{Index: i - 1, Node: u, Steps: i, Cost: c.TotalQueries()}
 			job.publish(s)
 			m.met.samples.Add(1)
+			m.journalProgress(job, i)
 		}
 		return &JobResult{
 			Samples:      spec.Count,

@@ -76,14 +76,17 @@ func formatFloat(f float64) string {
 type Metrics struct {
 	start time.Time
 
-	jobsSubmitted atomic.Int64
-	jobsRejected  atomic.Int64
-	jobsDone      atomic.Int64
-	jobsFailed    atomic.Int64
-	jobsCancelled atomic.Int64
-	jobsEvicted   atomic.Int64
-	jobsInFlight  atomic.Int64
-	samples       atomic.Int64
+	jobsSubmitted  atomic.Int64
+	jobsRejected   atomic.Int64
+	jobsShed       atomic.Int64 // 503'd at admission: queue full or draining
+	jobsDone       atomic.Int64
+	jobsFailed     atomic.Int64
+	jobsCancelled  atomic.Int64
+	jobsEvicted    atomic.Int64
+	jobsInFlight   atomic.Int64
+	jobsResumed    atomic.Int64 // incomplete journal records re-run at boot
+	jobsRehydrated atomic.Int64 // terminal journal records restored at boot
+	samples        atomic.Int64
 
 	queueWait *Histogram
 	runDur    *Histogram
@@ -121,6 +124,7 @@ func (m *Metrics) WriteProm(w io.Writer, eng *Engine, retained int) {
 
 	counter("walknotwait_jobs_submitted_total", "Jobs admitted to the queue.", m.jobsSubmitted.Load())
 	counter("walknotwait_jobs_rejected_total", "Jobs refused by admission control or validation.", m.jobsRejected.Load())
+	counter("walknotwait_jobs_shed_total", "Submissions turned away with 503 (queue full or draining).", m.jobsShed.Load())
 	fmt.Fprintf(w, "# HELP walknotwait_jobs_finished_total Jobs finished, by terminal state.\n")
 	fmt.Fprintf(w, "# TYPE walknotwait_jobs_finished_total counter\n")
 	fmt.Fprintf(w, "walknotwait_jobs_finished_total{state=\"done\"} %d\n", m.jobsDone.Load())
@@ -174,4 +178,46 @@ func (m *Metrics) WriteProm(w io.Writer, eng *Engine, retained int) {
 	fmt.Fprintf(w, "# TYPE walknotwait_stage_seconds histogram\n")
 	m.queueWait.writeProm(w, "walknotwait_stage_seconds", "stage", "queue")
 	m.runDur.writeProm(w, "walknotwait_stage_seconds", "stage", "run")
+}
+
+// WriteProm writes the manager's full metric set: the registry's job and
+// engine meters plus, when the durability layer is attached, the journal
+// and boot-recovery sections.
+func (m *Manager) WriteProm(w io.Writer) {
+	m.met.WriteProm(w, m.eng, m.RetainedJobs())
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, formatFloat(v))
+	}
+
+	fmt.Fprintf(w, "# HELP walknotwait_jobs_recovered_total Jobs recovered from the journal at boot, by mode.\n")
+	fmt.Fprintf(w, "# TYPE walknotwait_jobs_recovered_total counter\n")
+	fmt.Fprintf(w, "walknotwait_jobs_recovered_total{mode=\"resumed\"} %d\n", m.met.jobsResumed.Load())
+	fmt.Fprintf(w, "walknotwait_jobs_recovered_total{mode=\"rehydrated\"} %d\n", m.met.jobsRehydrated.Load())
+	recovering := 0.0
+	if m.Recovering() {
+		recovering = 1
+	}
+	gauge("walknotwait_recovering", "1 while resumed jobs are still replaying toward their pre-crash state.", recovering)
+	gauge("walknotwait_recovery_seconds", "Boot recovery duration (elapsed so far while recovering).",
+		m.RecoveryDuration().Seconds())
+
+	jl := m.journal()
+	if jl == nil {
+		return
+	}
+	st := jl.Stats()
+	counter("walknotwait_journal_appends_total", "Records appended to the job journal.", st.Appends)
+	counter("walknotwait_journal_bytes_total", "Bytes appended to the job journal.", st.Bytes)
+	counter("walknotwait_journal_fsyncs_total", "Journal fsyncs performed.", st.Fsyncs)
+	counter("walknotwait_journal_rotations_total", "Journal segment rotations (each one a snapshot+compaction).", st.Rotations)
+	counter("walknotwait_journal_append_errors_total", "Journal appends dropped by I/O errors or a closed journal.", st.AppendErrs)
+	counter("walknotwait_journal_replay_corrupt_total", "Torn or corrupt frames found at replay (replay stops there).", st.Corrupt)
+	gauge("walknotwait_journal_segments", "Journal segments currently on disk.", float64(st.Segments))
+	fmt.Fprintf(w, "# HELP walknotwait_journal_fsync_seconds Journal fsync latency.\n")
+	fmt.Fprintf(w, "# TYPE walknotwait_journal_fsync_seconds histogram\n")
+	jl.fsyncDur.writeProm(w, "walknotwait_journal_fsync_seconds", "policy", string(jl.cfg.Fsync))
 }

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Load sweep (ISSUE 7, carried from the ROADMAP): sweep weload's open-loop
+# submission rate against one weserve daemon with a deliberately small
+# admission queue, and record the classic capacity curve — samples/sec, p99
+# job latency, shed rate, and submit retries at each offered load — into
+# BENCH_serve.json under a "load_sweep" key.
+#
+# The small queue makes overload visible: past the service's capacity the
+# daemon sheds with typed 503s (which weload retries with the daemon's
+# Retry-After hint, then counts as shed) instead of building an unbounded
+# backlog. The open-loop driver is coordinated-omission-free: retries and
+# queue waits show up as latency, never as reduced offered load.
+#
+# Usage: scripts/load_sweep.sh [rates...]   (default: 8 16 32 64 128 256)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RATES=("${@:-8 16 32 64 128 256}")
+# Re-split the default string form into words.
+read -r -a RATES <<<"${RATES[*]}"
+OUT="BENCH_serve.json"
+ADDR="127.0.0.1:17137"
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== build =="
+go build -o "$WORK/" ./cmd/wegen ./cmd/weserve ./cmd/weload
+"$WORK/wegen" -model ba -n 3000 -m 3 -seed 7 -format csr -out "$WORK/g.csr"
+
+# Small queue (8) and two runners: capacity is reached inside the sweep, so
+# the top rates actually exercise shedding and retry.
+"$WORK/weserve" -in "$WORK/g.csr" -backend sim -latency 1ms \
+  -addr "$ADDR" -queue 8 -runners 2 -worker-budget 4 >"$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+
+first=1
+for RATE in "${RATES[@]}"; do
+  JOBS=$((RATE * 5))
+  WAIT_FLAG=""
+  [ "$first" = 1 ] && WAIT_FLAG="-wait 15s" && first=0
+  echo "== rate $RATE jobs/s ($JOBS jobs) =="
+  # shellcheck disable=SC2086
+  "$WORK/weload" -addr "$ADDR" $WAIT_FLAG -rate "$RATE" -jobs "$JOBS" \
+    -count 300 -workers 2 -label "sweep-$RATE" -out "$WORK/sweep_$RATE.json"
+done
+
+python3 - "$WORK" "$OUT" "${RATES[@]}" <<'EOF'
+import json, sys
+
+work, out = sys.argv[1], sys.argv[2]
+rates = [int(r) for r in sys.argv[3:]]
+
+steps = []
+for rate in rates:
+    rec = json.load(open(f"{work}/sweep_{rate}.json"))
+    if rec["samples_per_sec"] <= 0:
+        raise SystemExit(f"rate {rate}: no throughput")
+    if rec["errors"]:
+        raise SystemExit(
+            f"rate {rate}: {rec['errors']} hard errors "
+            f"(reasons {rec.get('failure_reasons')}) — shedding should be the "
+            "only overload response")
+    steps.append({
+        "offered_rate_jobs_per_sec": rate,
+        "jobs": rec["jobs"],
+        "jobs_per_sec": rec["jobs_per_sec"],
+        "samples_per_sec": rec["samples_per_sec"],
+        "p50_ms": rec["latency_ms"]["p50"],
+        "p99_ms": rec["latency_ms"]["p99"],
+        "shed": rec["shed"],
+        "shed_rate": rec["shed"] / rec["jobs"],
+        "submit_retries": rec["submit_retries"],
+    })
+
+try:
+    record = json.load(open(out))
+except (FileNotFoundError, json.JSONDecodeError):
+    record = {
+        "graph": {"model": "ba", "n": 3000, "m": 3, "seed": 7},
+        "backend": {"kind": "sim", "latency_ms": 1},
+    }
+record["load_sweep"] = {
+    "queue_depth": 8,
+    "runners": 2,
+    "count_per_job": 300,
+    "steps": steps,
+}
+json.dump(record, open(out, "w"), indent=2)
+for s in steps:
+    print(f"rate {s['offered_rate_jobs_per_sec']:>3}: "
+          f"{s['samples_per_sec']:8.1f} samples/s  "
+          f"p99 {s['p99_ms']:8.1f} ms  "
+          f"shed {s['shed']}/{s['jobs']} ({100*s['shed_rate']:.0f}%)  "
+          f"retries {s['submit_retries']}")
+print(f"wrote {out}")
+EOF

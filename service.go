@@ -40,8 +40,45 @@ type ServiceJobStatus = serve.JobStatus
 // ServiceMetrics is the service metric registry behind /metrics.
 type ServiceMetrics = serve.Metrics
 
+// ServiceJournal is the crash-safety layer: an append-only, checksummed,
+// segment-rotated log of accepted specs, durable-sample counts, and
+// terminal records. Attach one via ServiceConfig.Journal and the manager
+// recovers on construction — terminal jobs rehydrate from their
+// self-contained records, incomplete jobs resume by deterministic re-run
+// with a client-visible stream bit-identical to an uninterrupted one.
+type ServiceJournal = serve.Journal
+
+// ServiceJournalConfig configures a journal: directory, fsync policy,
+// fsync interval, and segment-rotation threshold.
+type ServiceJournalConfig = serve.JournalConfig
+
+// ServiceJournalStats is a point-in-time snapshot of journal counters.
+type ServiceJournalStats = serve.JournalStats
+
+// FsyncPolicy selects when the journal fsyncs; every append is flushed to
+// the OS regardless, so the policy sizes only the power-loss window.
+type FsyncPolicy = serve.FsyncPolicy
+
+// Fsync policies: per-append, timer-driven (default), or OS-managed.
+const (
+	FsyncAlways   = serve.FsyncAlways
+	FsyncInterval = serve.FsyncInterval
+	FsyncOff      = serve.FsyncOff
+)
+
+// OpenServiceJournal opens (or creates) a journal directory, replaying
+// and compacting any existing segments. Hand the result to
+// ServiceConfig.Journal before constructing the manager.
+func OpenServiceJournal(cfg ServiceJournalConfig) (*ServiceJournal, error) {
+	return serve.OpenJournal(cfg)
+}
+
+// ParseFsyncPolicy parses "always", "interval", or "off".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return serve.ParseFsyncPolicy(s) }
+
 // ErrQueueFull is returned by ServiceManager.Submit when admission control
-// rejects a job because the bounded queue is at capacity.
+// rejects a job because the bounded queue is at capacity. The HTTP layer
+// maps it to a typed 503 with a Retry-After hint.
 var ErrQueueFull = serve.ErrQueueFull
 
 // NewServiceEngine wraps a loaded network as resident service state.
