@@ -143,3 +143,69 @@ func BenchmarkDiskMillionNode(b *testing.B) {
 	b.ReportMetric(heapLoad, "heap-load-MB")
 	b.ReportMetric(queriesPerSample, "queries/sample")
 }
+
+// BenchmarkBatchedStep measures the vectorized walker-frontier step kernel
+// (ISSUE 8) against the scalar per-candidate loop on a simulated remote
+// backend: 16 candidates' backward estimates, cold client per op so every
+// neighbor access pays its round trip. The scalar loop serializes one
+// round trip per walker step; the batched kernel advances all walkers in
+// lockstep and resolves each design step's whole frontier as one batched
+// request, which the backend answers over concurrent simulated
+// connections. CI asserts batched >= 3x faster at 10 ms latency.
+func BenchmarkBatchedStep(b *testing.B) {
+	const (
+		tSteps   = 9
+		width    = 16
+		baseReps = 2
+		budget   = 2
+	)
+	d := wnw.SimpleRandomWalk()
+	g := wnw.NewBarabasiAlbert(3000, 3, rand.New(rand.NewSource(5)))
+	for _, latency := range []time.Duration{0, 10 * time.Millisecond} {
+		net := wnw.NewNetworkOn(wnw.NewRemoteSim(wnw.NewMemBackend(g), latency, 0, 64))
+		// Forward-walk setup (shared by both variants, outside the timer):
+		// record a WS-BW history and collect the candidate endpoints.
+		setupC := wnw.NewClient(net, wnw.CostUniqueNodes, wnw.NewFastRNG(1))
+		hist := wnw.NewHistory()
+		walkRNG := wnw.NewFastRNG(2)
+		nodes := make([]int, width)
+		for i := range nodes {
+			path := wnw.WalkPath(setupC, d, 0, tSteps, walkRNG)
+			hist.RecordWalk(path)
+			nodes[i] = path[len(path)-1]
+		}
+		snap := hist.Snapshot()
+		for _, batched := range []bool{false, true} {
+			name := fmt.Sprintf("latency=%dms/scalar", latency.Milliseconds())
+			if batched {
+				name = fmt.Sprintf("latency=%dms/batched", latency.Milliseconds())
+			}
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					// Fresh client per op: cold L1, so the op pays the
+					// backend round trips the kernel is meant to batch.
+					c := wnw.NewClient(net, wnw.CostUniqueNodes, wnw.NewFastRNG(int64(i)))
+					e := &wnw.Estimator{Client: c, Design: d, Start: 0, Hist: snap}
+					if batched {
+						cands := make([]*wnw.WEBatchCand, width)
+						for k, v := range nodes {
+							cands[k] = &wnw.WEBatchCand{V: v, RNG: wnw.NewFastRNG(int64(1000 + k))}
+						}
+						wnw.EstimateAdaptiveBatch(e, cands, tSteps, baseReps, budget)
+						for _, cd := range cands {
+							if cd.Err != nil {
+								b.Fatal(cd.Err)
+							}
+						}
+					} else {
+						for k, v := range nodes {
+							if _, err := wnw.EstimateAdaptive(e, v, tSteps, baseReps, budget, wnw.NewFastRNG(int64(1000+k))); err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}

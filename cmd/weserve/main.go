@@ -27,6 +27,8 @@
 //
 // Endpoints: POST /v1/jobs, GET /v1/jobs[/{id}[/stream]], DELETE
 // /v1/jobs/{id}, /healthz (+ /livez, /readyz), /metrics (Prometheus text).
+// With -pprof, the net/http/pprof profiling endpoints are additionally
+// served under /debug/pprof/ (opt-in; off by default).
 // See cmd/weserve/README.md for a curl-able walkthrough.
 package main
 
@@ -37,6 +39,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -66,6 +69,8 @@ func main() {
 		outage    = flag.String("outage", "", "full-outage window start+dur from startup, e.g. 2s+500ms")
 		retries   = flag.Int("retries", 0, "max retries per backend access (0 = policy default)")
 
+		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
+
 		journal    = flag.String("journal", "", "job-journal directory (empty disables durability)")
 		fsync      = flag.String("fsync", "interval", "journal fsync policy: always | interval | off")
 		fsyncEvery = flag.Duration("fsync-interval", 100*time.Millisecond, "fsync cadence under -fsync interval")
@@ -84,7 +89,7 @@ func main() {
 	jcfg := serve.JournalConfig{Dir: *journal, Fsync: policy, FsyncEvery: *fsyncEvery, SegmentBytes: *segBytes}
 	faults := wnw.FaultOptions{Rate: *faultRate, Seed: *faultSeed, Outage: *outage, Retries: *retries}
 	if err := run(*in, *backend, *latency, *jitter, *fanout, faults, *addr,
-		*queue, *runners, *budget, *maxWork, *retain, *sweep, jcfg); err != nil {
+		*queue, *runners, *budget, *maxWork, *retain, *sweep, jcfg, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "weserve:", err)
 		os.Exit(1)
 	}
@@ -92,7 +97,7 @@ func main() {
 
 func run(in, backendName string, latency, jitter time.Duration, fanout int,
 	faults wnw.FaultOptions, addr string, queue, runners, budget, maxWork int,
-	retention, sweep time.Duration, jcfg serve.JournalConfig) error {
+	retention, sweep time.Duration, jcfg serve.JournalConfig, pprofOn bool) error {
 	be, cleanup, err := wnw.OpenBackend(in, backendName, latency, jitter, fanout)
 	if err != nil {
 		return err
@@ -136,7 +141,23 @@ func run(in, backendName string, latency, jitter time.Duration, fanout int,
 	log.Printf("weserve: graph %q (%d nodes) backend=%s addr=%s runners=%d worker-budget=%d queue=%d retention=%v",
 		in, net.NumNodes(), backendName, addr, cfg.Runners, cfg.WorkerBudget, cfg.QueueDepth, cfg.Retention)
 
-	srv := &http.Server{Addr: addr, Handler: serve.Handler(mgr)}
+	handler := serve.Handler(mgr)
+	if pprofOn {
+		// Opt-in only: profiling endpoints expose heap contents and must
+		// never ride along on a production listener by default. Mounted on
+		// an explicit mux (not http.DefaultServeMux) so nothing else an
+		// imported package registers leaks onto the service address.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("weserve: pprof endpoints enabled at /debug/pprof/")
+	}
+	srv := &http.Server{Addr: addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

@@ -107,41 +107,92 @@ func (s *Sampler) SampleNParallelCtx(ctx context.Context, n, workers int) (walk.
 				Start:   s.cfg.Start,
 				Crawl:   s.est.Crawl,
 				Epsilon: s.cfg.Epsilon,
+				// The pipeline estimates fresh candidates against
+				// short-lived snapshot generations; measured on the
+				// end-to-end mem benchmark, the step-distribution cache
+				// rebuilds entries faster than it serves them there
+				// (~20% overhead), so it stays off. It pays in
+				// EstimateAllParallel, where every node is estimated
+				// repeatedly against one snapshot.
+				DisableStepCache: true,
 			}
 		}
 	}
 	ests := s.workerEsts
 
+	// Worker kernel selection (see the ScalarEstimation/BatchEstimation
+	// docs): vectorized batch kernel iff the backend resolves batches
+	// concurrently, unless a toggle pins it. Either kernel produces
+	// bit-identical results.
+	useScalar := s.ScalarEstimation || (!s.BatchEstimation && !s.c.ConcurrentBatch())
+
 	batch := 2 * workers
 	if batch < 8 {
 		batch = 8
 	}
-	jobs := make(chan *pcand, batch)
+	// Workers receive contiguous chunks of a batch and estimate each chunk
+	// with the vectorized kernel: all of a chunk's walkers advance in
+	// lockstep design steps, so each step costs one batched frontier
+	// resolution instead of one lookup (or backend round trip) per walker.
+	// Every candidate still draws from its own estSeed-derived stream and
+	// the kernel consumes exactly the scalar draws per candidate, so
+	// results — and therefore the (seed, workers) determinism contract —
+	// are bit-identical to scalar per-candidate estimation, independent of
+	// how candidates are chunked.
+	jobs := make(chan []*pcand, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		go func(e *Estimator) {
-			for cd := range jobs {
+			var bcs []*BatchCand // reused lane headers, one per chunk slot
+			for chunk := range jobs {
 				if err := ctx.Err(); err != nil {
 					// Abandon promptly: the batch still drains (the barrier
 					// stays intact) but no further backward walk starts, so
 					// no further query is charged. Cause, not Err: a typed
 					// backend failure that cancelled the job context must
 					// surface as itself, not as a bare context.Canceled.
-					cd.err = context.Cause(ctx)
+					cause := context.Cause(ctx)
+					for _, cd := range chunk {
+						cd.err = cause
+					}
 					wg.Done()
 					continue
 				}
-				e.Hist = cd.hist
-				pre := e.StepsTaken
-				// One cheaply-seeded xoshiro256++ stream per candidate;
-				// math/rand's default source walks a 607-word table on
-				// Seed, which would dominate short estimates.
-				rng := fastrand.New(cd.estSeed)
-				cd.pHat, cd.err = EstimateAdaptive(e, cd.v, t, baseReps, budget, rng)
-				if cd.err == nil {
-					cd.q = s.cfg.Design.TargetWeight(e.Client, cd.v)
+				e.Hist = chunk[0].hist // one snapshot per dispatched batch
+				if useScalar {
+					for _, cd := range chunk {
+						pre := e.StepsTaken
+						rng := fastrand.New(cd.estSeed)
+						cd.pHat, cd.err = EstimateAdaptive(e, cd.v, t, baseReps, budget, rng)
+						if cd.err == nil {
+							cd.q = s.cfg.Design.TargetWeight(e.Client, cd.v)
+						}
+						cd.backSteps = e.StepsTaken - pre
+					}
+					wg.Done()
+					continue
 				}
-				cd.backSteps = e.StepsTaken - pre
+				for len(bcs) < len(chunk) {
+					bcs = append(bcs, &BatchCand{})
+				}
+				cands := bcs[:len(chunk)]
+				for k, cd := range chunk {
+					bc := cands[k]
+					bc.V = cd.v
+					// One cheaply-seeded xoshiro256++ stream per candidate;
+					// math/rand's default source walks a 607-word table on
+					// Seed, which would dominate short estimates.
+					bc.RNG = fastrand.New(cd.estSeed)
+					bc.Reps = 0
+				}
+				EstimateAdaptiveBatch(e, cands, t, baseReps, budget)
+				for k, cd := range chunk {
+					bc := cands[k]
+					cd.pHat, cd.err, cd.backSteps = bc.PHat, bc.Err, bc.Steps
+					if cd.err == nil {
+						cd.q = s.cfg.Design.TargetWeight(e.Client, cd.v)
+					}
+				}
 				wg.Done()
 			}
 		}(ests[w])
@@ -294,9 +345,16 @@ func (s *Sampler) SampleNParallelCtx(ctx context.Context, n, workers int) (walk.
 			s.frontier = append(s.frontier, int32(cd.v))
 		}
 		s.c.Prefetch(s.frontier)
-		wg.Add(len(cur))
-		for _, cd := range cur {
-			jobs <- cd
+		// One contiguous chunk per worker: wide lanes amortize the batched
+		// frontier resolutions without idling workers.
+		chunkSz := (len(cur) + workers - 1) / workers
+		for lo := 0; lo < len(cur); lo += chunkSz {
+			hi := lo + chunkSz
+			if hi > len(cur) {
+				hi = len(cur)
+			}
+			wg.Add(1)
+			jobs <- cur[lo:hi]
 		}
 		// Speculate the next batch while the pool estimates cur — unless
 		// cur alone will in all likelihood finish the run, in which case
@@ -387,39 +445,72 @@ func EstimateAllParallelCtx(ctx context.Context, e *Estimator, nodes []int, t, b
 	moments := make([]mathx.Moments, len(nodes))
 	errs := make([]error, len(nodes))
 	// runPhase estimates reps[i] additional walks for every node i, farming
-	// nodes out to the worker pool. moments[i] is touched by exactly one
-	// worker within a phase and phases are separated by wg.Wait barriers.
+	// contiguous chunks of eligible nodes out to the worker pool; each chunk
+	// runs through the vectorized kernel as fixed-rep lanes that carry the
+	// node's moment accumulator in and out, so the fold order — and thus the
+	// result — is bit-identical to the scalar per-node loop. moments[i] is
+	// touched by exactly one worker within a phase (every node sits in
+	// exactly one chunk) and phases are separated by wg.Wait barriers.
+	// Chunk boundaries cannot affect results: each lane draws from its own
+	// (seed, node index, phase)-derived stream.
 	runPhase := func(phase int64, reps []int) error {
-		idx := make(chan int)
+		elig := make([]int, 0, len(nodes))
+		for i := range nodes {
+			if reps[i] > 0 && errs[i] == nil {
+				elig = append(elig, i)
+			}
+		}
+		// A few chunks per worker for load balance; wide enough lanes to
+		// amortize the batched frontier resolutions.
+		chunkSz := (len(elig) + 4*workers - 1) / (4 * workers)
+		if chunkSz < 1 {
+			chunkSz = 1
+		}
+		idx := make(chan []int)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(est *Estimator) {
 				defer wg.Done()
-				for i := range idx {
+				var bcs []*BatchCand
+				for ck := range idx {
 					if err := ctx.Err(); err != nil {
-						errs[i] = context.Cause(ctx)
+						cause := context.Cause(ctx)
+						for _, i := range ck {
+							errs[i] = cause
+						}
 						continue
 					}
-					rng := fastrand.New(fastrand.Mix(seed, int64(i), phase))
-					for r := 0; r < reps[i]; r++ {
-						v, err := est.EstimateOnce(nodes[i], t, rng)
-						if err != nil {
-							errs[i] = err
-							break
+					for len(bcs) < len(ck) {
+						bcs = append(bcs, &BatchCand{})
+					}
+					cands := bcs[:len(ck)]
+					for k, i := range ck {
+						bc := cands[k]
+						bc.V = nodes[i]
+						bc.RNG = fastrand.New(fastrand.Mix(seed, int64(i), phase))
+						bc.Reps = reps[i]
+						bc.m = moments[i]
+					}
+					EstimateAdaptiveBatch(est, cands, t, 1, 0)
+					for k, i := range ck {
+						moments[i] = cands[k].m
+						if cands[k].Err != nil {
+							errs[i] = cands[k].Err
 						}
-						moments[i].Add(v)
 					}
 				}
 			}(ests[w])
 		}
-		for i := range nodes {
+		for lo := 0; lo < len(elig); lo += chunkSz {
 			if ctx.Err() != nil {
-				break // drain: workers mark any already-queued nodes instead
+				break // drain: workers mark any already-queued chunks instead
 			}
-			if reps[i] > 0 && errs[i] == nil {
-				idx <- i
+			hi := lo + chunkSz
+			if hi > len(elig) {
+				hi = len(elig)
 			}
+			idx <- elig[lo:hi]
 		}
 		close(idx)
 		wg.Wait()

@@ -1,0 +1,380 @@
+package core
+
+import "repro/internal/fastrand"
+
+// This file is the WS-BW step-distribution cache. The tempered transition
+// mix backStep samples for a (node, step) pair starts from an O(deg) gather
+// of the history row restricted to the candidate list, recomputed on every
+// visit — yet backward walks revisit the same hub rows constantly (hubs
+// carry most of the probability mass forward walks deposit, and the
+// tempered mix steers backward walks straight into them).
+//
+// What is cached is the *gather*, not a frozen sampling structure: the
+// sparse restriction of the row to the candidate list — ascending candidate
+// indices with nonzero hit counts, plus their sum z. That choice follows
+// from how the row actually evolves: every recorded forward walk deposits
+// exactly one hit per step, and degree-biased walks land in hub
+// neighborhoods almost every attempt, so hub entries are perturbed between
+// most visits. A frozen CDF (or alias table) cannot absorb a perturbation
+// incrementally — one hit changes z and with it every smoothed term — so it
+// would be re-derived at O(deg) on nearly every revisit, which is the cost
+// of the scalar step it was meant to replace. The sparse restriction,
+// by contrast, absorbs a perturbation in O(log deg): walk j changed the
+// (node, step) distribution iff path_j[step-1] is one of node's candidates —
+// and then by exactly one hit increment at that candidate, applied by a
+// binary search and bump against the recent-walk ring (History.ring).
+// Selection then runs the same sparse scan the scalar path uses
+// (selectSparse), so a served step skips only the row gather — the dominant
+// cost — and stays bit-identical by construction.
+//
+// Entries do freeze a CDF, but lazily: only when a revisit arrives *clean*
+// (the entry is already reconciled to the current walk count — repeated
+// backward reps between recorded walks, or workers estimating against a
+// frozen COW snapshot). Then the exact prefix sums are derived once and
+// subsequent clean serves are one binary search, with the chosen index and
+// pick probability still bit-identical to the scalar scan (cum holds the
+// scalar loop's exact partial sums). Any reconcile invalidates the CDF and
+// sampling falls back to the sparse scan; the derive cost is only ever paid
+// against serves it can amortize.
+//
+// Gate. The cache serves only frozen Snapshot views (History.Frozen): the
+// parallel pipeline's workers, and any caller estimating against a held-
+// still view. Against the live history the sequential sampler perturbs, it
+// is not consulted at all — measured there, hub revisits are spread across
+// ~4k (node, step) keys while the recent-walk ring holds 32 paths, so most
+// entries age out before their next visit and the cache builds two entries
+// for every step it serves; the plain filtered gather wins outright. On a
+// frozen view the same working set is revisited at a single walk count, so
+// entries amortize across the whole generation and reconcile (below) only
+// runs once per snapshot refresh.
+//
+// Validity. An entry is stamped with the history's (lineage, walks). Equal
+// stamps mean bit-identical counters (snapshots share their source's
+// lineage; Release starts a new one). Entries whose walk gap exceeds the
+// ring's reach, whose lineage moved, or whose candidate count drifted are
+// rebuilt from the scalar gather on the next visit, reusing their arrays.
+//
+// Memory. Entries are proportional to their nonzero restriction (plus the
+// lazy cum, total slots capped via totalSlots with whole-cache epoch clears
+// — cheaper than LRU bookkeeping on the hot path). After warm-up on a
+// frozen history the cache neither allocates nor rebuilds, preserving the
+// zero-alloc contracts on backStep and EstimateOnce.
+type stepCache struct {
+	m          map[uint64]*stepEntry
+	totalSlots int
+	stats      StepCacheStats
+}
+
+// stepEntry caches the sparse row restriction of one (node, step) pair:
+// idx holds the ascending candidate indices with nonzero history hits, cnt
+// their counts, z the total hit mass. cum/base/scale are the lazily frozen
+// CDF, valid only while cumWalks == walks.
+type stepEntry struct {
+	lineage uint64 // history content line the entry was built against
+	walks   int    // walk count the entry is reconciled through
+	deg     int32  // len(nbr) at build time (guards candidate drift)
+	sorted  bool   // nbr was ascending at build time (enables reconcile)
+
+	z   int64   // Σ cnt, the row mass over the candidate list
+	idx []int32 // ascending candidate indices with nonzero hits
+	cnt []int32 // hit counts, parallel to idx
+
+	// Lazily derived exact prefix sums (the scalar scan's partial sums),
+	// valid while cumWalks == walks; cumWalks == -1 means never derived.
+	base, scale float64
+	cum         []float64
+	cumWalks    int
+}
+
+// StepCacheStats counts step-distribution cache outcomes. Hits served a
+// backward step from a cached restriction (skipping the row gather);
+// Revalidated hits additionally reconciled the entry across newly recorded
+// walks via the ring; Misses ran the scalar gather (first sightings and
+// stale rebuilds); Builds stored a restriction; Epochs counts whole-cache
+// clears at the slot cap.
+type StepCacheStats struct {
+	Hits        int64
+	Revalidated int64
+	Misses      int64
+	Builds      int64
+	Epochs      int64
+}
+
+// HitRate returns Hits / (Hits + Misses), 0 before any lookup.
+func (s StepCacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+const (
+	// stepCacheMinDeg gates caching to hub candidate sets: below it the
+	// scalar scan is already a few cache lines and the map traffic would not
+	// pay for itself.
+	stepCacheMinDeg = 64
+	// stepCacheMaxStep bounds the step component of the packed map key.
+	// Walk lengths are ~2·diameter+1, far below it.
+	stepCacheMaxStep = 256
+	// stepCacheMaxSlots caps Σ len(entry.idx) at build time. Hitting the cap
+	// clears the cache (a rare epoch event on realistic graphs — the working
+	// set is hubs × steps) rather than tracking LRU.
+	stepCacheMaxSlots = 1 << 21
+)
+
+func stepCacheKey(node, step int) uint64 {
+	return uint64(node)<<8 | uint64(step)
+}
+
+// cacheStep serves one gated backward step from the cache if it holds a
+// valid (reconcilable) entry for (node, step). On a hit it consumes exactly
+// the randomness the scalar path would — one Intn when the restriction is
+// empty, one Float64 otherwise — and returns done = true with the chosen
+// candidate index and its pick probability, bit-identical to the scalar
+// scan. Returns done = false (caller gathers and stores) for absent, stale,
+// or ring-exceeded entries.
+func (e *Estimator) cacheStep(node, step int, nbr []int32, total int, rng fastrand.RNG) (chosen int, pick float64, done bool) {
+	if e.cache == nil {
+		e.cache = &stepCache{m: make(map[uint64]*stepEntry)}
+	}
+	sc := e.cache
+	h := e.Hist
+	ent := sc.m[stepCacheKey(node, step)]
+	if ent == nil || ent.lineage != h.lineage || int(ent.deg) != len(nbr) {
+		return 0, 0, false
+	}
+	clean := ent.walks == h.walks
+	if !clean {
+		if !ent.sorted || h.walks < ent.walks || h.walks-ent.walks > histRingSize {
+			return 0, 0, false
+		}
+		// The guard above bounds the gap to the ring capacity, so every path
+		// in [ent.walks, h.walks) is still resident (nil only defensively).
+		for j := ent.walks; j < h.walks; j++ {
+			p := h.ringPath(j)
+			if p == nil {
+				return 0, 0, false
+			}
+			if step-1 >= len(p) {
+				continue // that walk recorded nothing at this row
+			}
+			w := p[step-1]
+			if e.selfLoops && w == node {
+				ent.bump(int32(total - 1)) // self-loop slot is last
+			} else if k, ok := indexSorted(nbr, int32(w)); ok {
+				ent.bump(int32(k))
+			}
+		}
+		ent.walks = h.walks
+		sc.stats.Revalidated++
+	}
+	sc.stats.Hits++
+	if ent.z == 0 {
+		i := rng.Intn(total)
+		return i, 1 / float64(total), true
+	}
+	if ent.cumWalks != ent.walks {
+		if !clean {
+			// Perturbed since the last visit: sample straight from the
+			// sparse restriction; freezing prefix sums here could be wasted
+			// by the next recorded walk.
+			chosen, pick = selectSparse(ent.idx, ent.cnt, ent.z, total, e.eps, rng)
+			return chosen, pick, true
+		}
+		// Second visit at this walk count: the history is holding still
+		// (repeated reps, or a frozen snapshot), so freeze the CDF once and
+		// serve every further clean visit with a binary search.
+		ent.derive(total, e.eps)
+	}
+	chosen, pick = ent.selectCDF(total, rng)
+	return chosen, pick, true
+}
+
+// cacheStore records the scalar gather for a gated (node, step) so the next
+// visit is served from the cache: hits is the dense gather the scalar path
+// just produced (z its sum, an exact small-integer fp value), compressed
+// here into the entry's sparse restriction; a nil hits with z == 0 records
+// the certainly-empty restriction the filter prescan proved without
+// gathering. The entry reuses the arrays of any stale predecessor. Never
+// consumes randomness — the caller's scalar selection does.
+func (e *Estimator) cacheStore(node, step int, nbr []int32, total int, hits []float64, z float64) {
+	sc := e.cache
+	sc.stats.Misses++
+	key := stepCacheKey(node, step)
+	h := e.Hist
+	ent := sc.m[key]
+	if ent == nil {
+		if sc.totalSlots+total > stepCacheMaxSlots {
+			clear(sc.m)
+			sc.totalSlots = 0
+			sc.stats.Epochs++
+		}
+		ent = &stepEntry{}
+		sc.m[key] = ent
+		sc.totalSlots += total
+	}
+	ent.lineage = h.lineage
+	ent.walks = h.walks
+	ent.deg = int32(len(nbr))
+	ent.sorted = sortedAsc(nbr)
+	ent.z = int64(z)
+	ent.idx = ent.idx[:0]
+	ent.cnt = ent.cnt[:0]
+	for i, hv := range hits {
+		if hv != 0 {
+			ent.idx = append(ent.idx, int32(i))
+			ent.cnt = append(ent.cnt, int32(hv))
+		}
+	}
+	ent.cumWalks = -1
+	sc.stats.Builds++
+}
+
+// bump applies one hit increment at candidate index i, inserting it into
+// the sparse restriction if it was zero (counts only ever grow, so entries
+// never shrink).
+func (ent *stepEntry) bump(i int32) {
+	ent.z++
+	k, ok := indexSorted(ent.idx, i)
+	if ok {
+		ent.cnt[k]++
+		return
+	}
+	ent.idx = append(ent.idx, 0)
+	copy(ent.idx[k+1:], ent.idx[k:])
+	ent.idx[k] = i
+	ent.cnt = append(ent.cnt, 0)
+	copy(ent.cnt[k+1:], ent.cnt[k:])
+	ent.cnt[k] = 1
+}
+
+// indexSorted finds v in the ascending list (binary search), returning its
+// index, or the insertion point and false.
+func indexSorted(list []int32, v int32) (int, bool) {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if list[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(list) && list[lo] == v
+}
+
+// sortedAsc reports whether the list is ascending (duplicates allowed; the
+// one-pass check is folded into the O(deg) entry build).
+func sortedAsc(list []int32) bool {
+	for i := 1; i < len(list); i++ {
+		if list[i-1] > list[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// selectSparse draws a candidate index from the tempered WS-BW mix given
+// the sparse row restriction — idx ascending candidate indices with counts
+// cnt, z > 0 their total — consuming one Float64. It is the scalar
+// selection kernel: bit-identical to an add-and-compare scan over the dense
+// hits vector, because every term is the same fp expression in the same
+// order (a zero-hit term is base + scale·(0+1) = base + scale exactly, so
+// zero runs between sparse entries add a precomputed constant) and the
+// early break is at the same index.
+func selectSparse(idx, cnt []int32, z int64, total int, eps float64, rng fastrand.RNG) (chosen int, pick float64) {
+	zf := float64(z)
+	uniform := 1 / float64(total)
+	smoothZ := zf + float64(total) // Laplace: +1 per candidate
+	beta := (1 - eps) * zf / smoothZ
+	base := (1 - beta) * uniform
+	scale := beta / smoothZ
+	t0 := base + scale // zero-hit term: base + scale·(0+1)
+	r := rng.Float64()
+	acc := 0.0
+	i := 0
+	for k := 0; k <= len(idx); k++ {
+		lim := total
+		if k < len(idx) {
+			lim = int(idx[k])
+		}
+		for ; i < lim; i++ { // zero-hit run
+			acc += t0
+			if r < acc {
+				return i, t0
+			}
+		}
+		if k == len(idx) {
+			break
+		}
+		term := base + scale*(float64(cnt[k])+1)
+		acc += term
+		if r < acc {
+			return i, term
+		}
+		i++
+	}
+	// fp rounding left r ≥ the final acc: scalar default, last slot.
+	chosen = total - 1
+	var h float64
+	if n := len(idx); n > 0 && int(idx[n-1]) == total-1 {
+		h = float64(cnt[n-1])
+	}
+	return chosen, base + scale*(h+1)
+}
+
+// derive freezes the exact prefix sums of the tempered mix — the scalar
+// scan's partial sums, term for term — so clean revisits select with one
+// binary search. Called only with z > 0.
+func (ent *stepEntry) derive(total int, eps float64) {
+	zf := float64(ent.z)
+	uniform := 1 / float64(total)
+	smoothZ := zf + float64(total)
+	beta := (1 - eps) * zf / smoothZ
+	ent.base = (1 - beta) * uniform
+	ent.scale = beta / smoothZ
+	if cap(ent.cum) < total {
+		ent.cum = make([]float64, total)
+	}
+	cum := ent.cum[:total]
+	t0 := ent.base + ent.scale
+	acc := 0.0
+	sp := 0
+	for i := 0; i < total; i++ {
+		term := t0
+		if sp < len(ent.idx) && int(ent.idx[sp]) == i {
+			term = ent.base + ent.scale*(float64(ent.cnt[sp])+1)
+			sp++
+		}
+		acc += term
+		cum[i] = acc
+	}
+	ent.cum = cum
+	ent.cumWalks = ent.walks
+}
+
+// selectCDF draws from the frozen prefix sums: the smallest i with
+// r < cum[i] — the index the scalar add-and-compare loop stops at — with
+// the pick recomputed from the same base + scale·(hits+1) term, so chosen
+// and pick are bit-identical to the scalar scan. Consumes one Float64.
+func (ent *stepEntry) selectCDF(total int, rng fastrand.RNG) (chosen int, pick float64) {
+	r := rng.Float64()
+	cum := ent.cum[:total]
+	lo, hi := 0, total
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r < cum[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == total {
+		lo = total - 1 // scalar default when fp rounding leaves r ≥ acc
+	}
+	term := ent.base + ent.scale // zero-hit term
+	if k, ok := indexSorted(ent.idx, int32(lo)); ok {
+		term = ent.base + ent.scale*(float64(ent.cnt[k])+1)
+	}
+	return lo, term
+}

@@ -1,0 +1,194 @@
+package core
+
+// Property tests for the WS-BW step-distribution cache (stepcache.go): a
+// cached hub pick must be bit-identical to the rebuilt scalar distribution —
+// same chosen candidate, same pick probability, same RNG consumption —
+// across growing histories, snapshot generations, and Release/reuse cycles.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fastrand"
+	"repro/internal/gen"
+	"repro/internal/osn"
+	"repro/internal/walk"
+)
+
+// stepCachePair builds two estimators over the same graph — cache enabled
+// and disabled — each with its own client and an initially empty history.
+func stepCachePair(t *testing.T, d walk.Design) (cached, plain *Estimator, walker *osn.Client, histC, histP *History) {
+	t.Helper()
+	g := gen.BarabasiAlbert(3000, 4, rand.New(rand.NewSource(21)))
+	net := osn.NewNetwork(g)
+	// Forward walks charge their own client so the two estimators' query
+	// meters stay comparable.
+	walker = osn.NewClient(net, osn.CostUniqueNodes, fastrand.New(6))
+	histC, histP = NewHistory(), NewHistory()
+	cached = &Estimator{
+		Client: osn.NewClient(net, osn.CostUniqueNodes, fastrand.New(5)),
+		Design: d, Start: 0, Hist: histC,
+	}
+	plain = &Estimator{
+		Client: osn.NewClient(net, osn.CostUniqueNodes, fastrand.New(5)),
+		Design: d, Start: 0, Hist: histP,
+		DisableStepCache: true,
+	}
+	return cached, plain, walker, histC, histP
+}
+
+// TestStepCacheBitIdenticalEstimates drives the two estimators through an
+// evolving history — walks recorded between estimates, exactly the
+// sequential sampler's access pattern — and requires identical estimates,
+// identical step counts, and identical query charges at every point.
+func TestStepCacheBitIdenticalEstimates(t *testing.T) {
+	const tSteps = 9
+	for _, d := range []walk.Design{walk.SRW{}, walk.MHRW{}} {
+		cached, plain, walker, histC, histP := stepCachePair(t, d)
+		walkRNG := rand.New(rand.NewSource(77))
+		rngC, rngP := fastrand.New(99), fastrand.New(99)
+		var snap *History
+		for round := 0; round < 60; round++ {
+			path := walk.Path(walker, d, 0, tSteps, walkRNG)
+			histC.RecordWalk(path)
+			histP.RecordWalk(path)
+			// The cache serves only frozen views: hand the cached estimator a
+			// fresh snapshot each round (the parallel pipeline's refresh
+			// pattern) while the plain one reads the live history at the same
+			// walk count — identical content, so still bit-comparable.
+			if snap != nil {
+				snap.Release()
+			}
+			snap = histC.Snapshot()
+			cached.Hist = snap
+			v := path[len(path)-1]
+			for rep := 0; rep < 4; rep++ {
+				got, err1 := cached.EstimateOnce(v, tSteps, rngC)
+				want, err2 := plain.EstimateOnce(v, tSteps, rngP)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("%s round %d: error mismatch: %v vs %v", d.Name(), round, err1, err2)
+				}
+				if got != want {
+					t.Fatalf("%s round %d rep %d: cached %v != plain %v", d.Name(), round, rep, got, want)
+				}
+			}
+		}
+		if cached.StepsTaken != plain.StepsTaken {
+			t.Fatalf("%s: StepsTaken %d != %d", d.Name(), cached.StepsTaken, plain.StepsTaken)
+		}
+		if cq, pq := cached.Client.TotalQueries(), plain.Client.TotalQueries(); cq != pq {
+			t.Fatalf("%s: queries %d != %d", d.Name(), cq, pq)
+		}
+		st := cached.StepCacheStats()
+		if st.Hits == 0 {
+			t.Fatalf("%s: cache never hit (misses %d) — fixture has no hub reuse?", d.Name(), st.Misses)
+		}
+		if st.Revalidated == 0 {
+			t.Fatalf("%s: cache never revalidated across recorded walks", d.Name())
+		}
+	}
+}
+
+// TestStepCacheAcrossSnapshotGenerations re-points the cached estimator at
+// successive COW snapshots (the parallel pipeline's handoff) while the plain
+// estimator reads the live history at the same walk counts, and requires
+// bit-identical sampling before and after each generation — including after
+// a Release, which must start a new lineage and never serve stale entries.
+func TestStepCacheAcrossSnapshotGenerations(t *testing.T) {
+	const tSteps = 7
+	d := walk.SRW{}
+	cached, plain, walker, histC, histP := stepCachePair(t, d)
+	walkRNG := rand.New(rand.NewSource(13))
+	rngC, rngP := fastrand.New(4), fastrand.New(4)
+
+	var snaps []*History
+	check := func(v, reps int) {
+		t.Helper()
+		for i := 0; i < reps; i++ {
+			got, err1 := cached.EstimateOnce(v, tSteps, rngC)
+			want, err2 := plain.EstimateOnce(v, tSteps, rngP)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("estimate errors: %v / %v", err1, err2)
+			}
+			if got != want {
+				t.Fatalf("snapshot generation %d: cached %v != plain %v", len(snaps), got, want)
+			}
+		}
+	}
+	for gen := 0; gen < 8; gen++ {
+		var v int
+		for w := 0; w < 5; w++ {
+			path := walk.Path(walker, d, 0, tSteps, walkRNG)
+			histC.RecordWalk(path)
+			histP.RecordWalk(path)
+			v = path[len(path)-1]
+		}
+		snap := histC.Snapshot()
+		snaps = append(snaps, snap)
+		cached.Hist = snap // workers estimate against the frozen view
+		check(v, 6)
+		cached.Hist = histC
+	}
+	for _, s := range snaps {
+		s.Release()
+	}
+
+	// Release the live histories: new lineage, empty content. Entries from
+	// the old lineage must not resurface even though walk counts restart.
+	histC.Release()
+	histP.Release()
+	walkRNG = rand.New(rand.NewSource(13)) // same walks as generation 0
+	var v int
+	for w := 0; w < 5; w++ {
+		path := walk.Path(walker, d, 0, tSteps, walkRNG)
+		histC.RecordWalk(path)
+		histP.RecordWalk(path)
+		v = path[len(path)-1]
+	}
+	reborn := histC.Snapshot() // same walk count as generation 0's snapshot
+	cached.Hist = reborn
+	check(v, 6)
+	reborn.Release()
+}
+
+// TestStepCacheSamplerBitIdentical runs the full sequential WALK-ESTIMATE
+// sampler with the cache on and off and requires identical node sequences,
+// step counts, and cost trajectories.
+func TestStepCacheSamplerBitIdentical(t *testing.T) {
+	g := gen.BarabasiAlbert(4000, 5, rand.New(rand.NewSource(31)))
+	net := osn.NewNetwork(g)
+	run := func(disable bool) walk.Result {
+		t.Helper()
+		c := osn.NewClient(net, osn.CostUniqueNodes, fastrand.New(8))
+		s, err := NewSampler(c, Config{
+			Design:         walk.SRW{},
+			Start:          0,
+			WalkLength:     9,
+			UseCrawl:       true,
+			CrawlHops:      2,
+			UseWeighted:    true,
+			BackwardReps:   3,
+			VarianceBudget: 4,
+		}, rand.New(rand.NewSource(17)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.est.DisableStepCache = disable
+		res, err := s.SampleN(30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	got, want := run(false), run(true)
+	if len(got.Nodes) != len(want.Nodes) {
+		t.Fatalf("sample counts differ: %d vs %d", len(got.Nodes), len(want.Nodes))
+	}
+	for i := range got.Nodes {
+		if got.Nodes[i] != want.Nodes[i] || got.Steps[i] != want.Steps[i] || got.CostAfter[i] != want.CostAfter[i] {
+			t.Fatalf("sample %d differs: (%d,%d,%d) vs (%d,%d,%d)", i,
+				got.Nodes[i], got.Steps[i], got.CostAfter[i],
+				want.Nodes[i], want.Steps[i], want.CostAfter[i])
+		}
+	}
+}

@@ -305,6 +305,13 @@ func (r *RemoteSim) AttrNames() []string { return r.inner.AttrNames() }
 // ground truth; samplers must not use it).
 func (r *RemoteSim) Inner() Backend { return r.inner }
 
+// ConcurrentBatch reports that batch requests overlap their round trips
+// (Fanout simulated connections), so a k-node batch costs ~ceil(k/Fanout)
+// round trips of wall-clock instead of k. Callers use this capability to
+// decide whether batching accesses buys wall-clock — for a local backend a
+// batch is just a loop, and batch-shaped execution is pure overhead.
+func (r *RemoteSim) ConcurrentBatch() bool { return true }
+
 // GraphView implements GraphViewer when the wrapped backend does.
 func (r *RemoteSim) GraphView() *graph.Graph {
 	if gv, ok := r.inner.(GraphViewer); ok {

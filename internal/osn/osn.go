@@ -39,6 +39,10 @@ type Network struct {
 	meanCache   map[string]float64
 	restriction Restriction
 	rateLimit   *RateLimit
+	// concBatch records whether any backend layer answers batch requests
+	// over concurrent connections (RemoteSim's fanout), i.e. whether
+	// batch-shaped access patterns actually save wall-clock.
+	concBatch bool
 }
 
 // Option configures a Network.
@@ -81,7 +85,11 @@ func NewNetwork(g *graph.Graph, opts ...Option) *Network {
 // simulated remote API — as a simulated online social network.
 func NewNetworkOn(be Backend, opts ...Option) *Network {
 	truth := be
+	concBatch := false
 	for {
+		if cb, ok := truth.(interface{ ConcurrentBatch() bool }); ok && cb.ConcurrentBatch() {
+			concBatch = true
+		}
 		u, ok := truth.(interface{ Inner() Backend })
 		if !ok {
 			break
@@ -91,6 +99,7 @@ func NewNetworkOn(be Backend, opts ...Option) *Network {
 	n := &Network{
 		be:        be,
 		truth:     truth,
+		concBatch: concBatch,
 		attrs:     make(map[string][]float64),
 		attrFns:   make(map[string]func(int) float64),
 		attrCache: make(map[string]map[int]float64),
@@ -470,6 +479,22 @@ func (c *Client) Mode() CostMode { return c.mode }
 // u ∈ N(v). Transition designs use this to take degree-only probability
 // fast paths along edges already known to exist.
 func (c *Client) SymmetricView() bool { return c.net.restriction == nil }
+
+// StableView reports whether repeated Neighbors calls for the same node are
+// guaranteed to return the same list: true for unrestricted views and
+// deterministic (type-2) restrictions, false under re-randomizing (type-1)
+// restrictions. Callers that memoize per-node derived state (e.g. the WS-BW
+// step-distribution cache) must check it — under an unstable view a cached
+// list may no longer describe the candidates a fresh call would return.
+func (c *Client) StableView() bool { return c.cacheable }
+
+// ConcurrentBatch reports whether some layer of the backend stack answers
+// batch requests over concurrent connections (a RemoteSim anywhere in the
+// wrapper chain), so batching many accesses into one request saves
+// wall-clock. Local backends (mem, disk CSR) answer batches as plain
+// loops; callers that restructure work into batch shape purely for round
+// trips should skip the restructuring when this is false.
+func (c *Client) ConcurrentBatch() bool { return c.net.concBatch }
 
 // Neighbors issues the local-neighborhood query for v and returns its
 // (possibly restricted) neighbor list. The result must not be modified.

@@ -227,6 +227,24 @@ func (k EdgeProbKind) Prob(du, dv int) float64 {
 	return minf(1/float64(du), 1/float64(dv))
 }
 
+// ProbsInto is the batched form of Prob for the vectorized step kernel: it
+// fills out[i] = Prob(du[i], dv[i]) for a dense vector of edge-degree pairs
+// in one branch-hoisted pass (the kind test runs once, not per edge). Same
+// preconditions as Prob — existing edges, positive visible degrees, not
+// EdgeProbNone — and bit-identical results. No-op on empty input, so callers
+// may pass the gathered fast-path lanes unconditionally.
+func (k EdgeProbKind) ProbsInto(du, dv []int32, out []float64) {
+	if k == EdgeProbSRW {
+		for i, d := range du {
+			out[i] = 1 / float64(d)
+		}
+		return
+	}
+	for i, d := range du {
+		out[i] = minf(1/float64(d), 1/float64(dv[i]))
+	}
+}
+
 // Path performs a fixed-length walk and returns the visited nodes
 // (path[0] = start, len = steps+1).
 func Path(c View, d Design, start, steps int, rng fastrand.RNG) []int {

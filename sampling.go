@@ -2,7 +2,6 @@ package walknotwait
 
 import (
 	"context"
-	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/walk"
@@ -40,19 +39,19 @@ type FixedBurnIn = walk.FixedBurnIn
 
 // ManyShortRuns draws count samples with the traditional scheme: one walk
 // per sample, each run until the monitor declares burn-in.
-func ManyShortRuns(c *Client, d Design, start, count int, m Monitor, maxSteps int, rng *rand.Rand) (SampleResult, error) {
+func ManyShortRuns(c *Client, d Design, start, count int, m Monitor, maxSteps int, rng RNG) (SampleResult, error) {
 	return walk.ManyShortRuns(c, d, start, count, m, maxSteps, rng)
 }
 
 // OneLongRun draws count samples from a single walk after one burn-in,
 // taking every thin-th node (Section 6.1; samples are correlated — see
 // EffectiveSampleSize).
-func OneLongRun(c *Client, d Design, start, burnIn, count, thin int, rng *rand.Rand) (SampleResult, error) {
+func OneLongRun(c *Client, d Design, start, burnIn, count, thin int, rng RNG) (SampleResult, error) {
 	return walk.OneLongRun(c, d, start, burnIn, count, thin, rng)
 }
 
 // WalkPath performs a fixed-length walk and returns the visited nodes.
-func WalkPath(c *Client, d Design, start, steps int, rng *rand.Rand) []int {
+func WalkPath(c *Client, d Design, start, steps int, rng RNG) []int {
 	return walk.Path(c, d, start, steps, rng)
 }
 
@@ -80,7 +79,7 @@ type WESampler = core.Sampler
 type WESampleEvent = core.SampleEvent
 
 // NewWalkEstimate builds a WALK-ESTIMATE sampler over a metered client.
-func NewWalkEstimate(c *Client, cfg WEConfig, rng *rand.Rand) (*WESampler, error) {
+func NewWalkEstimate(c *Client, cfg WEConfig, rng RNG) (*WESampler, error) {
 	return core.NewSampler(c, cfg, rng)
 }
 
@@ -91,7 +90,7 @@ type Estimator = core.Estimator
 
 // EstimateAll is the batch form of Algorithm 3 (ESTIMATE): baseReps backward
 // walks per node plus extraBudget walks allocated by estimation variance.
-func EstimateAll(e *Estimator, nodes []int, t, baseReps, extraBudget int, rng *rand.Rand) (map[int]float64, error) {
+func EstimateAll(e *Estimator, nodes []int, t, baseReps, extraBudget int, rng RNG) (map[int]float64, error) {
 	return core.EstimateAll(e, nodes, t, baseReps, extraBudget, rng)
 }
 
@@ -109,6 +108,28 @@ func EstimateAllParallel(e *Estimator, nodes []int, t, baseReps, extraBudget, wo
 // EstimateAllParallel.
 func EstimateAllParallelCtx(ctx context.Context, e *Estimator, nodes []int, t, baseReps, extraBudget, workers int, seed int64) (map[int]float64, error) {
 	return core.EstimateAllParallelCtx(ctx, e, nodes, t, baseReps, extraBudget, workers, seed)
+}
+
+// EstimateAdaptive estimates p_t(v) with baseReps backward walks plus up to
+// varianceBudget adaptive top-ups (the scalar per-candidate loop the
+// WALK-ESTIMATE sampler runs).
+func EstimateAdaptive(e *Estimator, v, t, baseReps, varianceBudget int, rng RNG) (float64, error) {
+	return core.EstimateAdaptive(e, v, t, baseReps, varianceBudget, rng)
+}
+
+// WEBatchCand is one candidate lane of EstimateAdaptiveBatch: the caller
+// sets V and RNG (one private stream per candidate), the kernel fills PHat,
+// Steps, and Err.
+type WEBatchCand = core.BatchCand
+
+// EstimateAdaptiveBatch is EstimateAdaptive over a vector of candidates,
+// advanced in lockstep design steps: each step resolves the whole walker
+// frontier with one batched neighbor fetch (one shared-cache pass, one
+// backend round trip) instead of one lookup per walker. Per candidate it is
+// bit-identical to EstimateAdaptive seeded the same way — same estimates,
+// same step counts, same query charges.
+func EstimateAdaptiveBatch(e *Estimator, cands []*WEBatchCand, t, baseReps, varianceBudget int) {
+	core.EstimateAdaptiveBatch(e, cands, t, baseReps, varianceBudget)
 }
 
 // CrawlTable holds exact step-τ probabilities inside the crawled h-hop ball
@@ -150,7 +171,7 @@ type HarvestSampler = core.HarvestSampler
 
 // NewHarvestSampler builds the path-harvesting WALK-ESTIMATE variant.
 // minStep (0 = half the walk length) is the first harvested step.
-func NewHarvestSampler(c *Client, cfg WEConfig, minStep int, rng *rand.Rand) (*HarvestSampler, error) {
+func NewHarvestSampler(c *Client, cfg WEConfig, minStep int, rng RNG) (*HarvestSampler, error) {
 	return core.NewHarvestSampler(c, cfg, minStep, rng)
 }
 
@@ -164,7 +185,7 @@ type NBWalker = walk.NBWalker
 func NewNBWalker(start int) *NBWalker { return walk.NewNBWalker(start) }
 
 // NBManyShortRuns is ManyShortRuns with the non-backtracking walk.
-func NBManyShortRuns(c *Client, start, count int, m Monitor, maxSteps int, rng *rand.Rand) (SampleResult, error) {
+func NBManyShortRuns(c *Client, start, count int, m Monitor, maxSteps int, rng RNG) (SampleResult, error) {
 	return walk.NBManyShortRuns(c, start, count, m, maxSteps, rng)
 }
 

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Runs the WALK-ESTIMATE performance benchmarks and records the results in
-# BENCH_walkestimate.json so successive PRs accumulate a perf trajectory.
+# Runs the WALK-ESTIMATE performance benchmarks and appends a dated entry
+# to BENCH_walkestimate.json so successive runs accumulate a perf
+# trajectory (readers take the last entry).
 #
 # Usage: scripts/bench.sh [benchtime]   (default 10x per benchmark op)
 set -euo pipefail
@@ -9,7 +10,8 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${1:-10x}"
 OUT="BENCH_walkestimate.json"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+ENTRY="$(mktemp)"
+trap 'rm -f "$RAW" "$ENTRY"' EXIT
 
 go test -run '^$' -bench 'BenchmarkParallelWE|BenchmarkFig5' \
   -benchtime "$BENCHTIME" -timeout 30m . | tee "$RAW"
@@ -38,6 +40,5 @@ awk -v benchtime="$BENCHTIME" '
     for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
     printf "  ]\n}\n"
   }
-' "$RAW" > "$OUT"
-
-echo "wrote $OUT"
+' "$RAW" > "$ENTRY"
+python3 scripts/bench_append.py "$OUT" "$ENTRY"

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Append a dated benchmark entry to a BENCH_*.json history file.
+
+Usage: bench_append.py OUT.json ENTRY.json [kind]
+
+The history file holds {"entries": [...]} with one dated entry per
+recorded run, newest last — bench scripts append instead of overwriting,
+so the committed records carry their trajectory. CI readers and tooling
+take entries[-1] (or the last entry of a given "kind" for files shared by
+several scripts, like BENCH_serve.json).
+
+A legacy single-run file (no "entries" key) is migrated in place: its old
+top-level object becomes entries[0], with a null date since the run date
+was never recorded.
+"""
+
+import datetime
+import json
+import sys
+
+
+def main() -> None:
+    if len(sys.argv) not in (3, 4):
+        raise SystemExit(__doc__)
+    out, entry_path = sys.argv[1], sys.argv[2]
+    entry = json.load(open(entry_path))
+    dated = {"date": datetime.date.today().isoformat()}
+    if len(sys.argv) == 4:
+        dated["kind"] = sys.argv[3]
+    dated.update(entry)
+
+    try:
+        doc = json.load(open(out))
+    except (FileNotFoundError, json.JSONDecodeError):
+        doc = {"entries": []}
+    if "entries" not in doc:
+        doc = {"entries": [{"date": None, **doc}]}
+    doc["entries"].append(dated)
+
+    with open(out, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"appended entry {len(doc['entries'])} to {out}")
+
+
+if __name__ == "__main__":
+    main()

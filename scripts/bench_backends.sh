@@ -18,10 +18,16 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${1:-2x}"
 OUT="BENCH_backends.json"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+ENTRY="$(mktemp)"
+trap 'rm -f "$RAW" "$ENTRY"' EXIT
 
 go test -run '^$' -bench 'BenchmarkFrontierFetch' -benchtime "$BENCHTIME" \
   -timeout 30m . | tee "$RAW"
+
+# Vectorized walker-frontier kernel vs the scalar per-candidate loop at
+# simulated latency (ISSUE 8): CI asserts batched >= 3x faster at 10 ms.
+go test -run '^$' -bench 'BenchmarkBatchedStep' -benchtime "$BENCHTIME" \
+  -timeout 30m . | tee -a "$RAW"
 
 go test -run '^$' -bench 'BenchmarkDiskMillionNode' -benchtime 1x \
   -timeout 30m . | tee -a "$RAW"
@@ -48,6 +54,5 @@ awk -v benchtime="$BENCHTIME" '
     for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
     printf "  ]\n}\n"
   }
-' "$RAW" > "$OUT"
-
-echo "wrote $OUT"
+' "$RAW" > "$ENTRY"
+python3 scripts/bench_append.py "$OUT" "$ENTRY"

@@ -19,11 +19,12 @@ cd "$(dirname "$0")/.."
 MICROTIME="${1:-100000x}"
 OUT="BENCH_kernels.json"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+ENTRY="$(mktemp)"
+trap 'rm -f "$RAW" "$ENTRY"' EXIT
 
 # Micro-benchmarks across the kernel packages.
 go test -run '^$' \
-  -bench 'BenchmarkBackStep$|BenchmarkHistoryRow$|BenchmarkEstimateOnce$|BenchmarkNeighborsHot$|BenchmarkNeighborsHotShared$|BenchmarkNeighborsSharedMiss$|BenchmarkUint64$|BenchmarkIntn$|BenchmarkFloat64$|BenchmarkStdRandIntn$' \
+  -bench 'BenchmarkBackStep$|BenchmarkHistoryRow$|BenchmarkEstimateOnce$|BenchmarkEstimateBatch$|BenchmarkNeighborsHot$|BenchmarkNeighborsHotShared$|BenchmarkNeighborsSharedMiss$|BenchmarkUint64$|BenchmarkIntn$|BenchmarkFloat64$|BenchmarkStdRandIntn$' \
   -benchtime "$MICROTIME" -benchmem -timeout 20m \
   ./internal/core ./internal/osn ./internal/fastrand | tee "$RAW"
 
@@ -54,16 +55,18 @@ awk -v benchtime="$MICROTIME" '
   /^Benchmark/ {
     name = $1; iters = $2
     sub(/-[0-9]+$/, "", name)
-    nsop = ""; bop = ""; allocs = ""
+    nsop = ""; bop = ""; allocs = ""; hitrate = ""
     for (i = 3; i < NF; i++) {
-      if ($(i+1) == "ns/op")     nsop = $i
-      if ($(i+1) == "B/op")      bop = $i
-      if ($(i+1) == "allocs/op") allocs = $i
+      if ($(i+1) == "ns/op")          nsop = $i
+      if ($(i+1) == "B/op")           bop = $i
+      if ($(i+1) == "allocs/op")      allocs = $i
+      if ($(i+1) == "cache-hit-rate") hitrate = $i
     }
     if (nsop == "") next
     line = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", name, iters, nsop)
     if (bop != "")    line = line sprintf(", \"bytes_per_op\": %s", bop)
     if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+    if (hitrate != "") line = line sprintf(", \"cache_hit_rate\": %s", hitrate)
     line = line "}"
     lines[n++] = line
   }
@@ -72,6 +75,6 @@ awk -v benchtime="$MICROTIME" '
     for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
     printf "  ]\n}\n"
   }
-' "$RAW" > "$OUT"
-
-echo "wrote $OUT (profile in bench_cpu.pprof)"
+' "$RAW" > "$ENTRY"
+python3 scripts/bench_append.py "$OUT" "$ENTRY"
+echo "(CPU profile in bench_cpu.pprof)"

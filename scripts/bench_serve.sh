@@ -2,8 +2,9 @@
 # Serving-throughput benchmark (ISSUE 4): boots the weserve daemon on a
 # generated CSR graph over the simulated remote backend, drives it with two
 # identical weload bursts — the first against a cold cache, the second
-# against the cache the first burst warmed — and records both into
-# BENCH_serve.json.
+# against the cache the first burst warmed — and appends both as a dated
+# "serve"-kind entry to BENCH_serve.json (entries accumulate; readers take
+# the last entry of each kind).
 #
 # The acceptance criteria this record demonstrates:
 #   - the daemon is healthy and produced a non-zero samples/sec;
@@ -42,7 +43,7 @@ SERVE_PID=$!
 "$WORK/weload" -addr "$ADDR" -jobs "$JOBS" -concurrency "$CONC" \
   -count 15 -workers 2 -label warm -out "$WORK/warm.json"
 
-python3 - "$WORK" "$OUT" "$ADDR" <<'EOF'
+python3 - "$WORK" "$WORK/entry.json" "$ADDR" <<'EOF'
 import json, sys, urllib.request
 
 work, out, addr = sys.argv[1], sys.argv[2], sys.argv[3]
@@ -91,5 +92,6 @@ record = {
 json.dump(record, open(out, "w"), indent=2)
 print(f"cold {cold['samples_per_sec']:.1f} samples/s, "
       f"warm {warm['samples_per_sec']:.1f} samples/s "
-      f"({record['warm_speedup']:.1f}x), wrote {out}")
+      f"({record['warm_speedup']:.1f}x)")
 EOF
+python3 scripts/bench_append.py "$OUT" "$WORK/entry.json" serve

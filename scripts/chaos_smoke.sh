@@ -7,9 +7,9 @@
 #      identical absorbed-fault runs, typed mid-job failure, breaker-driven
 #      readiness — all with the race detector watching the retry machinery.
 #   2. Boot weserve with a seeded fault injector (-faultrate), drive it with
-#      an open-loop weload burst, and merge the injector/retry/breaker
-#      counters into BENCH_serve.json under a "chaos" key (the cold/warm
-#      record from bench_serve.sh is preserved when present).
+#      an open-loop weload burst, and append the injector/retry/breaker
+#      counters as a dated "chaos"-kind entry to BENCH_serve.json (entries
+#      accumulate; readers take the last entry of each kind).
 #
 # The acceptance criteria this record demonstrates:
 #   - faults were actually injected (faults > 0 — the run exercised the stack);
@@ -52,7 +52,7 @@ SERVE_PID=$!
 "$WORK/weload" -addr "$ADDR" -wait 15s -jobs "$JOBS" -rate "$RATE" \
   -count 25 -workers 2 -label chaos -out "$WORK/chaos.json"
 
-python3 - "$WORK" "$OUT" "$ADDR" <<'EOF'
+python3 - "$WORK" "$WORK/entry.json" "$ADDR" <<'EOF'
 import json, sys, urllib.request
 
 work, out, addr = sys.argv[1], sys.argv[2], sys.argv[3]
@@ -77,14 +77,9 @@ if chaos["errors"] or chaos.get("failure_reasons"):
 if chaos["samples_per_sec"] <= 0:
     raise SystemExit("no throughput under injected faults")
 
-try:
-    record = json.load(open(out))
-except (FileNotFoundError, json.JSONDecodeError):
-    record = {
-        "graph": {"model": "ba", "n": 3000, "m": 3, "seed": 7},
-        "backend": {"kind": "sim", "latency_ms": 1, "jitter_ms": 0.25},
-    }
-record["chaos"] = {
+record = {
+    "graph": {"model": "ba", "n": 3000, "m": 3, "seed": 7},
+    "backend": {"kind": "sim", "latency_ms": 1, "jitter_ms": 0.25},
     "fault_rate": 0.02,
     "fault_seed": 7,
     "load": chaos,
@@ -98,5 +93,6 @@ record["chaos"] = {
 json.dump(record, open(out, "w"), indent=2)
 print(f"injected {be['faults']} faults, {be['retries']} retries, "
       f"{be['retries_absorbed']} absorbed, 0 give-ups at "
-      f"{chaos['samples_per_sec']:.1f} samples/s; wrote {out}")
+      f"{chaos['samples_per_sec']:.1f} samples/s")
 EOF
+python3 scripts/bench_append.py "$OUT" "$WORK/entry.json" chaos

@@ -15,8 +15,9 @@
 #          because concurrent resumed traffic interleaves fleet charges);
 #        - recovery metrics moved: jobs_recovered_total{resumed} > 0,
 #          journal_appends_total > 0, recovery_seconds recorded.
-#      The recovery duration and stream verdict are merged into
-#      BENCH_serve.json under a "crash" key.
+#      The recovery duration and stream verdict are appended as a dated
+#      "crash"-kind entry to BENCH_serve.json (entries accumulate; readers
+#      take the last entry of each kind).
 #
 # Usage: scripts/crash_smoke.sh
 set -euo pipefail
@@ -117,7 +118,7 @@ fi
 curl -fsS "http://$ADDR/v1/jobs/$MARKER_ID/stream" >"$WORK/post.ndjson"
 curl -fsS "http://$ADDR/metrics" >"$WORK/metrics.txt"
 
-python3 - "$WORK" "$OUT" <<'EOF'
+python3 - "$WORK" "$WORK/entry.json" <<'EOF'
 import json, sys
 
 work, out = sys.argv[1], sys.argv[2]
@@ -165,14 +166,9 @@ if appends <= 0:
 if recovery_s is None:
     raise SystemExit("recovery_seconds missing from /metrics")
 
-try:
-    record = json.load(open(out))
-except (FileNotFoundError, json.JSONDecodeError):
-    record = {
-        "graph": {"model": "ba", "n": 3000, "m": 3, "seed": 7},
-        "backend": {"kind": "sim", "latency_ms": 1},
-    }
-record["crash"] = {
+record = {
+    "graph": {"model": "ba", "n": 3000, "m": 3, "seed": 7},
+    "backend": {"kind": "sim", "latency_ms": 1},
     "marker_spec": {"type": "sample", "count": 60, "seed": 4242, "workers": 2},
     "stream_bit_identical": True,
     "stream_rows": len(post),
@@ -183,5 +179,6 @@ record["crash"] = {
 }
 json.dump(record, open(out, "w"), indent=2)
 print(f"resumed stream bit-identical over {len(post)} rows; "
-      f"{resumed:.0f} resumed + {rehydrated:.0f} rehydrated in {recovery_s:.3f}s; wrote {out}")
+      f"{resumed:.0f} resumed + {rehydrated:.0f} rehydrated in {recovery_s:.3f}s")
 EOF
+python3 scripts/bench_append.py "$OUT" "$WORK/entry.json" crash

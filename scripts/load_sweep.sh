@@ -49,7 +49,7 @@ for RATE in "${RATES[@]}"; do
     -count 300 -workers 2 -label "sweep-$RATE" -out "$WORK/sweep_$RATE.json"
 done
 
-python3 - "$WORK" "$OUT" "${RATES[@]}" <<'EOF'
+python3 - "$WORK" "$WORK/entry.json" "${RATES[@]}" <<'EOF'
 import json, sys
 
 work, out = sys.argv[1], sys.argv[2]
@@ -77,14 +77,9 @@ for rate in rates:
         "submit_retries": rec["submit_retries"],
     })
 
-try:
-    record = json.load(open(out))
-except (FileNotFoundError, json.JSONDecodeError):
-    record = {
-        "graph": {"model": "ba", "n": 3000, "m": 3, "seed": 7},
-        "backend": {"kind": "sim", "latency_ms": 1},
-    }
-record["load_sweep"] = {
+record = {
+    "graph": {"model": "ba", "n": 3000, "m": 3, "seed": 7},
+    "backend": {"kind": "sim", "latency_ms": 1},
     "queue_depth": 8,
     "runners": 2,
     "count_per_job": 300,
@@ -97,5 +92,5 @@ for s in steps:
           f"p99 {s['p99_ms']:8.1f} ms  "
           f"shed {s['shed']}/{s['jobs']} ({100*s['shed_rate']:.0f}%)  "
           f"retries {s['submit_retries']}")
-print(f"wrote {out}")
 EOF
+python3 scripts/bench_append.py "$OUT" "$WORK/entry.json" load_sweep
