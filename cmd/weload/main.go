@@ -28,6 +28,12 @@
 // weserve and immediately drive it). Seeds default to base+jobIndex so runs
 // are reproducible; pass -same-seed to make every job identical (the warm-
 // replay workload that isolates cache effects).
+//
+// The address may be a cluster coordinator (weserve -role coordinator) —
+// the API is identical. Coordinator job statuses carry a "worker" placement
+// field; weload then adds a per-worker breakdown (jobs placed, samples,
+// samples/s, plus the coordinator's hand-off count) to the JSON record
+// under "cluster".
 package main
 
 import (
@@ -127,6 +133,28 @@ type record struct {
 	// the run, scraped from /metrics), present when the daemon fronts a
 	// fault-injected or resilience-wrapped backend.
 	Backend *backendCounters `json:"backend,omitempty"`
+	// Cluster breaks the run down by fleet worker, present when the address
+	// is a cluster coordinator (its job statuses carry a "worker" placement
+	// field; a single daemon's do not).
+	Cluster *clusterBreakdown `json:"cluster,omitempty"`
+}
+
+// clusterBreakdown is the per-worker view of a run driven through a
+// coordinator: where jobs landed and how throughput split across the fleet.
+type clusterBreakdown struct {
+	// Workers maps fleet index (as a string, for JSON) to that worker's
+	// share of the run.
+	Workers map[string]workerLoad `json:"workers"`
+	// Handoffs is the coordinator's re-dispatch count after the run — jobs
+	// that survived losing their worker (scraped from /v1/cluster).
+	Handoffs int64 `json:"handoffs"`
+}
+
+// workerLoad is one worker's slice of the run.
+type workerLoad struct {
+	Jobs          int     `json:"jobs"`
+	Samples       int64   `json:"samples"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
 }
 
 // backendCounters are /metrics deltas across the run.
@@ -173,6 +201,7 @@ func run(addr string, jobs, conc, count, workers int, design, jobType string,
 		latencies  []float64
 		sampleLats []float64
 		reasons    = make(map[string]int64)
+		placements = make(map[int]*workerLoad)
 		wg         sync.WaitGroup
 	)
 	doJob := func(i int) {
@@ -184,6 +213,17 @@ func run(addr string, jobs, conc, count, workers int, design, jobType string,
 		res := runJob(client, base, jobType, design, count, workers, s)
 		samples.Add(res.samples)
 		subRetries.Add(res.submitRetries)
+		if res.worker != nil {
+			mu.Lock()
+			wl := placements[*res.worker]
+			if wl == nil {
+				wl = &workerLoad{}
+				placements[*res.worker] = wl
+			}
+			wl.Jobs++
+			wl.Samples += res.samples
+			mu.Unlock()
+		}
 		if res.shed {
 			// Shed jobs are the daemon saying "not now", not a failure of
 			// either side — counted apart from errors and kept out of the
@@ -280,6 +320,17 @@ func run(addr string, jobs, conc, count, workers int, design, jobType string,
 			Failures: after.Failures - before.Failures,
 		}
 	}
+	if len(placements) > 0 {
+		cb := &clusterBreakdown{Workers: make(map[string]workerLoad, len(placements))}
+		for idx, wl := range placements {
+			if wall > 0 {
+				wl.SamplesPerSec = float64(wl.Samples) / wall.Seconds()
+			}
+			cb.Workers[strconv.Itoa(idx)] = *wl
+		}
+		cb.Handoffs = scrapeHandoffs(client, base)
+		rec.Cluster = cb
+	}
 	if wall > 0 {
 		rec.SamplesPerSec = float64(rec.Samples) / wall.Seconds()
 		rec.JobsPerSec = float64(jobs-rec.Errors-rec.Shed) / wall.Seconds()
@@ -334,6 +385,9 @@ type jobResult struct {
 	shed          bool
 	reason        string
 	err           error
+	// worker is the fleet placement index from a coordinator's job status
+	// (nil against a single daemon, whose statuses have no "worker" field).
+	worker *int
 }
 
 // Load-shedding 503s are retried with the daemon's own backoff hint
@@ -346,31 +400,33 @@ const (
 )
 
 // submitJob POSTs the spec, retrying load-shedding 503s up to
-// maxSubmitRetries times. Returns the job id, the retry count, and whether
-// the job was shed after exhausting the retries.
-func submitJob(client *http.Client, base string, body []byte) (string, int64, bool, error) {
+// maxSubmitRetries times. Returns the job id, the fleet placement (nil
+// against a single daemon), the retry count, and whether the job was shed
+// after exhausting the retries.
+func submitJob(client *http.Client, base string, body []byte) (string, *int, int64, bool, error) {
 	var retries int64
 	for attempt := 0; ; attempt++ {
 		resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
 		if err != nil {
-			return "", retries, false, err
+			return "", nil, retries, false, err
 		}
 		sub, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode == http.StatusAccepted {
 			var st struct {
-				ID string `json:"id"`
+				ID     string `json:"id"`
+				Worker *int   `json:"worker"`
 			}
 			if err := json.Unmarshal(sub, &st); err != nil {
-				return "", retries, false, fmt.Errorf("submit response: %v", err)
+				return "", nil, retries, false, fmt.Errorf("submit response: %v", err)
 			}
-			return st.ID, retries, false, nil
+			return st.ID, st.Worker, retries, false, nil
 		}
 		if resp.StatusCode != http.StatusServiceUnavailable {
-			return "", retries, false, fmt.Errorf("submit: %d %s", resp.StatusCode, bytes.TrimSpace(sub))
+			return "", nil, retries, false, fmt.Errorf("submit: %d %s", resp.StatusCode, bytes.TrimSpace(sub))
 		}
 		if attempt >= maxSubmitRetries {
-			return "", retries, true, fmt.Errorf("submit: %d %s (after %d retries)", resp.StatusCode, bytes.TrimSpace(sub), retries)
+			return "", nil, retries, true, fmt.Errorf("submit: %d %s (after %d retries)", resp.StatusCode, bytes.TrimSpace(sub), retries)
 		}
 		retries++
 		time.Sleep(retryDelay(resp, sub, attempt))
@@ -410,8 +466,8 @@ func runJob(client *http.Client, base, jobType, design string, count, workers in
 	}
 	body, _ := json.Marshal(spec)
 	submitted := time.Now()
-	id, retries, wasShed, err := submitJob(client, base, body)
-	res := jobResult{submitRetries: retries, shed: wasShed}
+	id, worker, retries, wasShed, err := submitJob(client, base, body)
+	res := jobResult{submitRetries: retries, shed: wasShed, worker: worker}
 	if err != nil {
 		res.err = err
 		return res
@@ -469,14 +525,42 @@ func runJob(client *http.Client, base, jobType, design string, count, workers in
 	}
 	defer resp.Body.Close()
 	var full struct {
+		Worker *int `json:"worker"`
 		Result *struct {
 			FleetQueries int64 `json:"fleet_queries"`
 		} `json:"result"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&full); err == nil && full.Result != nil {
-		res.fleetQueries = full.Result.FleetQueries
+	if err := json.NewDecoder(resp.Body).Decode(&full); err == nil {
+		if full.Result != nil {
+			res.fleetQueries = full.Result.FleetQueries
+		}
+		if full.Worker != nil {
+			// Final placement wins: a hand-off may have moved the job since
+			// submission.
+			res.worker = full.Worker
+		}
 	}
 	return res
+}
+
+// scrapeHandoffs reads the coordinator's re-dispatch count from
+// /v1/cluster. Best-effort zero when the endpoint is absent.
+func scrapeHandoffs(client *http.Client, base string) int64 {
+	resp, err := client.Get(base + "/v1/cluster?refresh=0")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0
+	}
+	var sum struct {
+		Handoffs int64 `json:"handoffs"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&sum) != nil {
+		return 0
+	}
+	return sum.Handoffs
 }
 
 // scrapeBackend reads the daemon's /metrics and extracts the backend

@@ -12,6 +12,18 @@
 //	weserve -in graph.txt -backend sim -faultrate 0.01 -retries 8
 //	weserve -in graph.csr -journal /var/lib/weserve/journal -fsync interval
 //
+// Fleet mode (see DESIGN.md "Cluster architecture"):
+//
+//	weserve -role coordinator -addr :7117 -workers 3
+//	weserve -role worker -in graph.csr -addr :7201 -join http://coord:7117
+//
+// A coordinator loads no graph: it admits jobs over the same HTTP surface,
+// places each on a live worker, relays its NDJSON stream, re-dispatches on
+// worker loss, and aggregates fleet meters — fleet-wide query charges stay
+// exactly equal to a single process's. A worker is a full single-daemon
+// stack that additionally owns a slice of the fleet's neighbor-cache shards
+// and answers peer lookups for it at /cluster/v1/resolve.
+//
 // With -journal set, job lifecycle events are appended to a crash-safe
 // journal: on restart, finished jobs are served from their durable records
 // (zero new walk steps) and interrupted jobs resume by deterministic re-run,
@@ -46,6 +58,7 @@ import (
 	"time"
 
 	wnw "repro"
+	"repro/internal/cluster"
 	"repro/internal/serve"
 )
 
@@ -75,29 +88,116 @@ func main() {
 		fsync      = flag.String("fsync", "interval", "journal fsync policy: always | interval | off")
 		fsyncEvery = flag.Duration("fsync-interval", 100*time.Millisecond, "fsync cadence under -fsync interval")
 		segBytes   = flag.Int64("segment-bytes", 8<<20, "journal segment size before snapshot+rotation")
+
+		role      = flag.String("role", "single", "process role: single | coordinator | worker")
+		join      = flag.String("join", "", "coordinator base URL to join (worker role)")
+		advertise = flag.String("advertise", "", "this worker's reachable base URL (worker role; default http://127.0.0.1<addr>)")
+		workers   = flag.Int("workers", 0, "expected fleet size (coordinator role; required)")
+		name      = flag.String("name", "", "operator label for this worker in fleet stats")
+		hbTimeout = flag.Duration("heartbeat-timeout", 2*time.Second, "worker staleness before hand-off (coordinator role)")
 	)
 	flag.Parse()
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "weserve: -in is required")
-		os.Exit(2)
-	}
 	policy, err := serve.ParseFsyncPolicy(*fsync)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "weserve:", err)
 		os.Exit(2)
 	}
 	jcfg := serve.JournalConfig{Dir: *journal, Fsync: policy, FsyncEvery: *fsyncEvery, SegmentBytes: *segBytes}
+
+	if *role == "coordinator" {
+		if *workers < 1 {
+			fmt.Fprintln(os.Stderr, "weserve: -role coordinator requires -workers >= 1")
+			os.Exit(2)
+		}
+		if err := runCoordinator(*addr, *workers, *hbTimeout, jcfg); err != nil {
+			fmt.Fprintln(os.Stderr, "weserve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *role != "single" && *role != "worker" {
+		fmt.Fprintf(os.Stderr, "weserve: unknown -role %q (want single, coordinator, or worker)\n", *role)
+		os.Exit(2)
+	}
+	if *role == "worker" && *join == "" {
+		fmt.Fprintln(os.Stderr, "weserve: -role worker requires -join")
+		os.Exit(2)
+	}
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "weserve: -in is required")
+		os.Exit(2)
+	}
+	fleet := fleetOptions{}
+	if *role == "worker" {
+		adv := *advertise
+		if adv == "" {
+			a := *addr
+			if len(a) > 0 && a[0] == ':' {
+				a = "127.0.0.1" + a
+			}
+			adv = "http://" + a
+		}
+		fleet = fleetOptions{join: *join, advertise: adv, name: *name}
+	}
 	faults := wnw.FaultOptions{Rate: *faultRate, Seed: *faultSeed, Outage: *outage, Retries: *retries}
 	if err := run(*in, *backend, *latency, *jitter, *fanout, faults, *addr,
-		*queue, *runners, *budget, *maxWork, *retain, *sweep, jcfg, *pprofOn); err != nil {
+		*queue, *runners, *budget, *maxWork, *retain, *sweep, jcfg, *pprofOn, fleet); err != nil {
 		fmt.Fprintln(os.Stderr, "weserve:", err)
 		os.Exit(1)
 	}
 }
 
+// fleetOptions is the worker-role wiring; the zero value means single mode.
+type fleetOptions struct {
+	join      string
+	advertise string
+	name      string
+}
+
+// runCoordinator serves the fleet frontend: no graph, no engine — only the
+// registry, the job relay, and the aggregated meters.
+func runCoordinator(addr string, workers int, hbTimeout time.Duration, jcfg serve.JournalConfig) error {
+	var jl *serve.Journal
+	var err error
+	if jcfg.Dir != "" {
+		jl, err = serve.OpenJournal(jcfg)
+		if err != nil {
+			return fmt.Errorf("open journal: %w", err)
+		}
+		log.Printf("weserve: coordinator journal %q fsync=%s", jcfg.Dir, jcfg.Fsync)
+	}
+	co, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		Workers: workers, HeartbeatTimeout: hbTimeout, Journal: jl,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("weserve: coordinator addr=%s workers=%d heartbeat-timeout=%v", addr, workers, hbTimeout)
+	srv := &http.Server{Addr: addr, Handler: co.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		co.Close()
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("weserve: coordinator shutting down")
+	co.Close()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("weserve: shutdown: %v", err)
+	}
+	return nil
+}
+
 func run(in, backendName string, latency, jitter time.Duration, fanout int,
 	faults wnw.FaultOptions, addr string, queue, runners, budget, maxWork int,
-	retention, sweep time.Duration, jcfg serve.JournalConfig, pprofOn bool) error {
+	retention, sweep time.Duration, jcfg serve.JournalConfig, pprofOn bool,
+	fleet fleetOptions) error {
 	be, cleanup, err := wnw.OpenBackend(in, backendName, latency, jitter, fanout)
 	if err != nil {
 		return err
@@ -142,6 +242,20 @@ func run(in, backendName string, latency, jitter time.Duration, fanout int,
 		in, net.NumNodes(), backendName, addr, cfg.Runners, cfg.WorkerBudget, cfg.QueueDepth, cfg.Retention)
 
 	handler := serve.Handler(mgr)
+	var wk *cluster.Worker
+	if fleet.join != "" {
+		wk, err = cluster.NewWorker(mgr, cluster.WorkerConfig{
+			Coordinator: fleet.join,
+			Advertise:   fleet.advertise,
+			Name:        fleet.name,
+		})
+		if err != nil {
+			mgr.Close()
+			return err
+		}
+		handler = wk.Handler()
+		log.Printf("weserve: worker join=%s advertise=%s", fleet.join, fleet.advertise)
+	}
 	if pprofOn {
 		// Opt-in only: profiling endpoints expose heap contents and must
 		// never ride along on a production listener by default. Mounted on
@@ -163,15 +277,33 @@ func run(in, backendName string, latency, jitter time.Duration, fanout int,
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
+	if wk != nil {
+		// Register once the listener is (about to be) up; Start retries while
+		// the coordinator is still booting.
+		go func() {
+			if err := wk.Start(); err != nil {
+				log.Printf("weserve: %v", err)
+				return
+			}
+			log.Printf("weserve: joined fleet as worker %d", wk.Index())
+		}()
+	}
 	select {
 	case err := <-errc:
+		if wk != nil {
+			wk.Close()
+		}
 		mgr.Close()
 		return err
 	case <-ctx.Done():
 	}
 	log.Printf("weserve: shutting down")
-	// Cancel jobs first: that terminates their NDJSON streams, so Shutdown's
+	// Stop heartbeating first (the coordinator stops placing new jobs here),
+	// then cancel jobs: that terminates their NDJSON streams, so Shutdown's
 	// wait for in-flight handlers can actually finish.
+	if wk != nil {
+		wk.Close()
+	}
 	mgr.Close()
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()

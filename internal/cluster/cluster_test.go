@@ -1,0 +1,388 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/osn"
+	"repro/internal/serve"
+)
+
+func testGraph() *graph.Graph {
+	return gen.BarabasiAlbert(300, 3, rand.New(rand.NewSource(42)))
+}
+
+// testWorker is one in-process fleet worker: a full serve stack behind a
+// real HTTP listener, killable mid-request.
+type testWorker struct {
+	mgr *serve.Manager
+	wk  *Worker
+	srv *httptest.Server
+}
+
+// kill simulates a crashed worker process: heartbeats stop, in-flight
+// connections are severed, and new dials are refused. The manager keeps
+// running (its goroutines belong to this test process), which only makes
+// the test stricter — the fleet must not depend on it.
+func (tw *testWorker) kill() {
+	tw.wk.Close()
+	tw.srv.CloseClientConnections()
+	tw.srv.Listener.Close()
+}
+
+type testFleet struct {
+	co    *Coordinator
+	coSrv *httptest.Server
+	wks   []*testWorker
+}
+
+func (tf *testFleet) close() {
+	tf.co.Close()
+	tf.coSrv.Close()
+	for _, tw := range tf.wks {
+		tw.wk.Close()
+		tw.srv.CloseClientConnections()
+		tw.srv.Close()
+		tw.mgr.Close()
+	}
+}
+
+// startFleet boots a coordinator and n workers over per-worker networks
+// built by mkNet (typically sharing one underlying graph) and blocks until
+// the fleet is complete and — for n > 1 — every worker has installed its
+// cache partition.
+func startFleet(t *testing.T, n int, mkNet func() *osn.Network, wcfg serve.Config, ccfg CoordinatorConfig) *testFleet {
+	t.Helper()
+	ccfg.Workers = n
+	if ccfg.HeartbeatTimeout == 0 {
+		ccfg.HeartbeatTimeout = 500 * time.Millisecond
+	}
+	co, err := NewCoordinator(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coSrv := httptest.NewServer(co.Handler())
+	tf := &testFleet{co: co, coSrv: coSrv}
+	for i := 0; i < n; i++ {
+		mgr := serve.NewManager(serve.NewEngine(mkNet()), wcfg)
+		var h atomic.Value
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			h.Load().(http.Handler).ServeHTTP(w, r)
+		}))
+		wk, err := NewWorker(mgr, WorkerConfig{
+			Coordinator:    coSrv.URL,
+			Advertise:      srv.URL,
+			Name:           fmt.Sprintf("w%d", i),
+			HeartbeatEvery: 50 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Store(wk.Handler())
+		if err := wk.Start(); err != nil {
+			t.Fatal(err)
+		}
+		tf.wks = append(tf.wks, &testWorker{mgr: mgr, wk: wk, srv: srv})
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ready := co.WorkersLive() == n
+		if n > 1 {
+			for _, tw := range tf.wks {
+				if tw.mgr.Engine().Cache().Partition() == nil {
+					ready = false
+				}
+			}
+		}
+		if ready {
+			return tf
+		}
+		if time.Now().After(deadline) {
+			tf.close()
+			t.Fatal("fleet did not become complete")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// submit posts a job spec to the coordinator and returns its status.
+func (tf *testFleet) submit(t *testing.T, spec serve.JobSpec) JobStatus {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(tf.coSrv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b := readBody(resp.Body)
+		t.Fatalf("submit: %s: %s", resp.Status, b)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// streamRow is one relayed NDJSON line.
+type streamRow struct {
+	Done  bool   `json:"done"`
+	State string `json:"state"`
+	Error string `json:"error"`
+	I     *int   `json:"i"`
+	Node  int    `json:"node"`
+	Steps int    `json:"steps"`
+}
+
+// readStream consumes a job's stream from the coordinator, invoking onRow
+// after each sample row, and returns the rows and the terminal line.
+func (tf *testFleet) readStream(t *testing.T, id string, onRow func(n int)) ([]streamRow, streamRow) {
+	t.Helper()
+	resp, err := http.Get(tf.coSrv.URL + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: %s", resp.Status)
+	}
+	dec := json.NewDecoder(resp.Body)
+	var rows []streamRow
+	for {
+		var row streamRow
+		if err := dec.Decode(&row); err != nil {
+			t.Fatalf("stream died after %d rows: %v", len(rows), err)
+		}
+		if row.Done {
+			return rows, row
+		}
+		rows = append(rows, row)
+		if onRow != nil {
+			onRow(len(rows))
+		}
+	}
+}
+
+// A 3-worker fleet must produce the exact sample sequence of a single
+// process at fixed (seed, workers), and its fleet-wide unique-node charge
+// (Σ per-worker owned-unique) must equal the single process's TotalQueries.
+func TestFleetParityWithSingleProcess(t *testing.T) {
+	g := testGraph()
+	spec := serve.JobSpec{Type: serve.TypeSample, Count: 40, Seed: 7, Workers: 2}
+
+	// Single-process reference.
+	ref := serve.NewManager(serve.NewEngine(osn.NewNetwork(g)), serve.Config{Runners: 1, WorkerBudget: 4})
+	job, err := ref.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refSt serve.JobStatus
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		refSt = job.Status()
+		if refSt.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("reference job stuck: %+v", refSt)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ref.Close()
+	if refSt.State != serve.JobDone || len(refSt.Result.Nodes) != 40 {
+		t.Fatalf("reference job: %+v", refSt)
+	}
+	singleQueries := refSt.Result.FleetQueries
+
+	tf := startFleet(t, 3, func() *osn.Network { return osn.NewNetwork(g) },
+		serve.Config{Runners: 1, WorkerBudget: 4}, CoordinatorConfig{})
+	defer tf.close()
+
+	st := tf.submit(t, spec)
+	if st.Worker < 0 || st.Worker > 2 {
+		t.Fatalf("placement: %+v", st)
+	}
+	rows, term := tf.readStream(t, st.ID, nil)
+	if term.State != string(serve.JobDone) {
+		t.Fatalf("terminal: %+v", term)
+	}
+	if len(rows) != len(refSt.Result.Nodes) {
+		t.Fatalf("row count: fleet %d single %d", len(rows), len(refSt.Result.Nodes))
+	}
+	for i, row := range rows {
+		if row.I == nil || *row.I != i {
+			t.Fatalf("row %d: bad index %+v", i, row)
+		}
+		if row.Node != refSt.Result.Nodes[i] {
+			t.Fatalf("sample %d differs: fleet %d single %d", i, row.Node, refSt.Result.Nodes[i])
+		}
+	}
+
+	sum := tf.co.Summary(true)
+	if sum.FleetQueries != singleQueries {
+		t.Fatalf("fleet charge: Σ owned-unique %d, single-process %d", sum.FleetQueries, singleQueries)
+	}
+	// The charge must be spread: with 64 shards mod 3 workers every worker
+	// owns some, and a 40-sample walk touches far more than 3 shards.
+	for _, ws := range sum.Workers {
+		if ws.OwnedUnique <= 0 {
+			t.Fatalf("worker %d charged nothing: %+v", ws.Index, sum.Workers)
+		}
+	}
+}
+
+// Killing the placed worker mid-stream must be invisible in the client's
+// row sequence: the coordinator hands the job to another worker, the
+// deterministic re-run replays, and index dedup splices the streams. Rows
+// are compared on (i, node, steps) — cost depends on cache warmth.
+func TestWorkerLossHandoffStreamIdentical(t *testing.T) {
+	g := testGraph()
+	spec := serve.JobSpec{Type: serve.TypeSample, Count: 30, Seed: 11, Workers: 2}
+	mkNet := func() *osn.Network {
+		return osn.NewNetworkOn(osn.NewRemoteSim(osn.NewMemBackend(g), time.Millisecond, 0, 8))
+	}
+	wcfg := serve.Config{Runners: 1, WorkerBudget: 4}
+
+	// Reference: the same fleet shape, uninterrupted.
+	refFleet := startFleet(t, 3, mkNet, wcfg, CoordinatorConfig{})
+	refSt := refFleet.submit(t, spec)
+	refRows, refTerm := refFleet.readStream(t, refSt.ID, nil)
+	refFleet.close()
+	if refTerm.State != string(serve.JobDone) || len(refRows) != 30 {
+		t.Fatalf("reference run: %+v (%d rows)", refTerm, len(refRows))
+	}
+
+	tf := startFleet(t, 3, mkNet, wcfg, CoordinatorConfig{HeartbeatTimeout: 300 * time.Millisecond})
+	defer tf.close()
+	st := tf.submit(t, spec)
+	killed := false
+	rows, term := tf.readStream(t, st.ID, func(n int) {
+		if n == 10 && !killed {
+			killed = true
+			tf.wks[st.Worker].kill()
+		}
+	})
+	if !killed {
+		t.Fatal("job finished before the kill point")
+	}
+	if term.State != string(serve.JobDone) {
+		t.Fatalf("terminal after hand-off: %+v", term)
+	}
+	if len(rows) != len(refRows) {
+		t.Fatalf("row count: killed run %d reference %d", len(rows), len(refRows))
+	}
+	for i := range rows {
+		if *rows[i].I != *refRows[i].I || rows[i].Node != refRows[i].Node || rows[i].Steps != refRows[i].Steps {
+			t.Fatalf("row %d differs after hand-off: got (%d,%d,%d) want (%d,%d,%d)",
+				i, *rows[i].I, rows[i].Node, rows[i].Steps,
+				*refRows[i].I, refRows[i].Node, refRows[i].Steps)
+		}
+	}
+
+	// The hand-off must be visible in the meters and the job's attempts.
+	if tf.co.handoffs.Load() < 1 {
+		t.Fatal("no hand-off counted")
+	}
+	var got JobStatus
+	resp, err := http.Get(tf.coSrv.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if got.Attempts < 2 {
+		t.Fatalf("attempts = %d, want >= 2 after a worker loss", got.Attempts)
+	}
+	if got.Worker == st.Worker {
+		t.Fatalf("job still placed on the killed worker %d", st.Worker)
+	}
+}
+
+// A worker-side queue_full shed must pass through the coordinator verbatim:
+// same status, same typed reason, same Retry-After — and exactly once (no
+// coordinator shed stacked on top).
+func TestShedForwardedVerbatim(t *testing.T) {
+	g := testGraph()
+	mkNet := func() *osn.Network {
+		return osn.NewNetworkOn(osn.NewRemoteSim(osn.NewMemBackend(g), 2*time.Millisecond, 0, 8))
+	}
+	tf := startFleet(t, 1, mkNet, serve.Config{Runners: 1, QueueDepth: 1, WorkerBudget: 2}, CoordinatorConfig{})
+	defer tf.close()
+
+	slow := serve.JobSpec{Type: serve.TypeSample, Count: 200, Seed: 3, Workers: 1}
+	tf.submit(t, slow) // running
+	tf.submit(t, slow) // queued, fills the depth-1 queue
+
+	body, _ := json.Marshal(slow)
+	resp, err := http.Post(tf.coSrv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("want 503, got %s", resp.Status)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want the worker's own hint \"1\"", ra)
+	}
+	var shed struct {
+		Error        string `json:"error"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&shed); err != nil {
+		t.Fatal(err)
+	}
+	if shed.Error != "queue_full" || shed.RetryAfterMS != 1000 {
+		t.Fatalf("shed body not forwarded verbatim: %+v", shed)
+	}
+	if tf.co.shedForwarded.Load() != 1 {
+		t.Fatalf("shedForwarded = %d, want 1", tf.co.shedForwarded.Load())
+	}
+}
+
+// With no live workers the coordinator sheds with its own typed reason.
+func TestNoWorkersShed(t *testing.T) {
+	co, err := NewCoordinator(CoordinatorConfig{Workers: 2, HeartbeatTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	srv := httptest.NewServer(co.Handler())
+	defer srv.Close()
+
+	// Not ready before any worker registers.
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with empty fleet: %s", resp.Status)
+	}
+
+	body, _ := json.Marshal(serve.JobSpec{Type: serve.TypeSample, Count: 5, Seed: 1, Workers: 1})
+	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("want 503, got %s", resp.Status)
+	}
+	var shed struct {
+		Error string `json:"error"`
+	}
+	json.NewDecoder(resp.Body).Decode(&shed)
+	if shed.Error != ShedNoWorkers {
+		t.Fatalf("shed reason %q, want %q", shed.Error, ShedNoWorkers)
+	}
+}

@@ -75,6 +75,14 @@ func (c *Client) NeighborsBatch(vs []int32, out [][]int32) {
 			}
 		}
 		fetch = ids[:k]
+		// Fleet-partitioned cache: route non-owned misses through their
+		// shard owners (absorbed + charged with the owners' fleet-first
+		// verdicts); only locally-owned ids continue to the backend pass.
+		if len(fetch) > 0 && c.fastPath {
+			if p := c.shared.part.Load(); p != nil && p.Resolver != nil {
+				fetch = c.resolvePartitioned(p, fetch)
+			}
+		}
 	}
 
 	// Pass 3: one backend round trip for the remaining misses, restriction

@@ -356,6 +356,11 @@ type Client struct {
 	batchFailed []bool      // per-element failure flags for the fallible batch path
 	groups      shardGroups // shard bucketing scratch for the shared-cache batch ops
 	prefetchBuf [][]int32   // Prefetch's throwaway out buffer
+	// Partitioned-fleet scratch (cluster mode only; see partition.go).
+	remoteIDs   []int32   // non-owned miss ids routed to shard owners
+	remoteLists [][]int32 // owner-resolved lists aligned with remoteIDs
+	remoteFirst []bool    // owner fleet-first verdicts aligned with remoteIDs
+	remoteSeen  []bool    // throwaway first flags for absorbing owner fills
 }
 
 func newClient(net *Network, mode CostMode, rng fastrand.RNG, sc *SharedCache) *Client {
@@ -541,6 +546,12 @@ func (c *Client) neighborsMiss(v int) []int32 {
 		if nbr, ok := c.shared.lookup(vv); ok {
 			c.setL1(v, nbr) // already paid for globally
 			return nbr
+		}
+		// Fleet-partitioned cache: a miss on a shard another worker owns is
+		// resolved through the owner (one atomic load on the cold path; the
+		// warm path above is untouched). Unrestricted views only.
+		if p := c.shared.part.Load(); p != nil && p.Resolver != nil && c.fastPath && !p.Owns(vv) {
+			return c.neighborsRemote(vv, p)
 		}
 	}
 	var nbr []int32

@@ -41,6 +41,16 @@ type SharedCache struct {
 	queries atomic.Int64
 	calls   atomic.Int64
 	uniq    atomic.Int64 // distinct nodes accessed, for lock-free Stats
+	// owned counts distinct nodes first-accessed here whose cache shard this
+	// worker owns under the installed partition (all of them when part is
+	// nil). Summing owned across a fleet gives the exact distinct-node total
+	// regardless of which workers touched which nodes (see partition.go).
+	owned atomic.Int64
+	// part is the fleet partition, consulted only on the cold miss path.
+	part atomic.Pointer[Partition]
+	// remoteFallbacks counts non-owned ids served by local fetch because
+	// their shard owner was unreachable.
+	remoteFallbacks atomic.Int64
 }
 
 type cacheShard struct {
@@ -188,6 +198,7 @@ func (sc *SharedCache) lookupBatch(ids []int32, out [][]int32, found []bool, sg 
 // precisely one of them, so the fleet meter is charged once per unique
 // node.
 func (sc *SharedCache) fillBatch(ids []int32, lists [][]int32, first []bool, sg *shardGroups) {
+	p := sc.part.Load()
 	sg.build(ids)
 	for s := 0; s < cacheShards; s++ {
 		g := sg.group(s)
@@ -211,6 +222,9 @@ func (sc *SharedCache) fillBatch(ids []int32, lists [][]int32, first []bool, sg 
 			} else {
 				sh.queried[w] |= bit
 				sc.uniq.Add(1)
+				if sc.ownsLocal(p, ids[i]) {
+					sc.owned.Add(1)
+				}
 				first[i] = true
 			}
 		}
@@ -232,6 +246,9 @@ func (sc *SharedCache) markQueried(v int32) bool {
 	sh.queried[w] |= bit
 	sh.mu.Unlock()
 	sc.uniq.Add(1)
+	if sc.ownsLocal(sc.part.Load(), v) {
+		sc.owned.Add(1)
+	}
 	return true
 }
 
@@ -279,6 +296,13 @@ type CacheStats struct {
 	Calls int64
 	// UniqueNodes is the number of distinct nodes accessed.
 	UniqueNodes int64
+	// OwnedUnique is the number of distinct partition-owned nodes
+	// first-accessed here (== UniqueNodes without a partition). Summed
+	// across a fleet it is the exact distinct-node total.
+	OwnedUnique int64
+	// RemoteFallbacks counts non-owned ids served by local fetch because
+	// their shard owner was unreachable (fleet meter approximate if > 0).
+	RemoteFallbacks int64
 }
 
 // HitRatio returns the fraction of interface calls served without charging a
@@ -296,9 +320,11 @@ func (s CacheStats) HitRatio() float64 {
 // for monitoring; phase-accurate accounting should quiesce clients first.
 func (sc *SharedCache) Stats() CacheStats {
 	return CacheStats{
-		Queries:     sc.queries.Load(),
-		Calls:       sc.calls.Load(),
-		UniqueNodes: sc.uniq.Load(),
+		Queries:         sc.queries.Load(),
+		Calls:           sc.calls.Load(),
+		UniqueNodes:     sc.uniq.Load(),
+		OwnedUnique:     sc.owned.Load(),
+		RemoteFallbacks: sc.remoteFallbacks.Load(),
 	}
 }
 

@@ -145,6 +145,11 @@ func (e *Engine) Faults() *osn.FaultSim { return e.faults }
 // CacheStats returns the fleet-wide cache meters as an atomic snapshot.
 func (e *Engine) CacheStats() osn.CacheStats { return e.cache.Stats() }
 
+// Cache returns the engine's long-lived shared neighbor cache, for fleet
+// wiring (partition installation, owner-side shard resolution). Job code
+// should keep going through NewClient.
+func (e *Engine) Cache() *osn.SharedCache { return e.cache }
+
 // PagePool returns the engine's shared history page pool.
 func (e *Engine) PagePool() *core.PagePool { return e.pages }
 

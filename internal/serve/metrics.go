@@ -104,6 +104,9 @@ func NewMetrics() *Metrics {
 // Samples returns the number of samples produced since start.
 func (m *Metrics) Samples() int64 { return m.samples.Load() }
 
+// InFlight returns the number of jobs currently running.
+func (m *Metrics) InFlight() int64 { return m.jobsInFlight.Load() }
+
 // Uptime returns the time since the registry was created.
 func (m *Metrics) Uptime() time.Duration { return time.Since(m.start) }
 
@@ -148,6 +151,8 @@ func (m *Metrics) WriteProm(w io.Writer, eng *Engine, retained int) {
 	counter("walknotwait_cache_calls_total", "Interface calls, cached or not.", cs.Calls)
 	gauge("walknotwait_cache_unique_nodes", "Distinct nodes fetched into the shared cache.", float64(cs.UniqueNodes))
 	gauge("walknotwait_cache_hit_ratio", "Fraction of interface calls served without a new charge.", cs.HitRatio())
+	gauge("walknotwait_cache_owned_unique_nodes", "Distinct partition-owned nodes first-accessed here (== unique nodes unpartitioned).", float64(cs.OwnedUnique))
+	counter("walknotwait_cache_remote_fallbacks_total", "Non-owned lookups served locally because the shard owner was unreachable.", cs.RemoteFallbacks)
 
 	if sim := eng.Sim(); sim != nil {
 		counter("walknotwait_backend_round_trips_total", "Simulated remote round trips.", sim.RoundTrips())

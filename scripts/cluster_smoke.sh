@@ -1,0 +1,251 @@
+#!/usr/bin/env bash
+# Cluster smoke (ISSUE 9): prove the coordinator/worker fleet end to end.
+#
+#   1. Run the cluster + partition property tests under -race: 3-worker
+#      sample/charge parity with a single process, worker-loss hand-off with
+#      a bit-identical client stream, verbatim shed passthrough, and the
+#      partitioned-cache ownership/fallback invariants.
+#   2. Boot a coordinator with one worker over a 10ms-latency sim backend,
+#      drive it with open-loop weload, and record baseline samples/sec and
+#      the fleet-wide unique-node charge.
+#   3. Boot a fresh coordinator with three workers over the same graph, run
+#      the identical marker + weload job set, and check:
+#        - samples/sec >= 1.8x the single-worker baseline (the scaling the
+#          fleet exists for, at the paper's high-latency operating point);
+#        - fleet_queries (sum of per-worker owned-unique meters) is exactly
+#          equal to the single-worker run's — partitioned charging is exact;
+#   4. Boot one more fresh 3-worker fleet (cold caches, so the marker job is
+#      slow enough to interrupt), kill -9 the worker running the marker
+#      mid-stream, and check the client-visible stream is identical on
+#      (i, node, steps) to the uninterrupted single-worker run — hand-off
+#      and cross-fleet determinism in one assertion.
+#      The scaling factor, parity verdict, and hand-off verdict are appended
+#      as a dated "cluster"-kind entry to BENCH_serve.json.
+#
+# Usage: scripts/cluster_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_serve.json"
+CO_ADDR="127.0.0.1:17141"
+W_PORTS=(17142 17143 17144)
+WORK="$(mktemp -d)"
+PIDS=()
+LOAD_PID=""
+cleanup() {
+  for p in "${PIDS[@]}"; do kill -9 "$p" 2>/dev/null || true; done
+  [ -n "$LOAD_PID" ] && kill "$LOAD_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== cluster + partition property tests (-race) =="
+go test -race -run 'TestFleet|TestWorkerLoss|TestShed|TestNoWorkers|TestPartition' \
+  ./internal/cluster/ ./internal/osn/
+
+echo "== build =="
+go build -o "$WORK/" ./cmd/wegen ./cmd/weserve ./cmd/weload
+"$WORK/wegen" -model ba -n 3000 -m 3 -seed 7 -format csr -out "$WORK/g.csr"
+
+MARKER_SPEC='{"type":"sample","count":40,"seed":4242,"workers":2}'
+LATENCY="10ms"
+
+wait_ready() { # addr
+  for _ in $(seq 1 600); do
+    curl -fsS "http://$1/readyz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "coordinator at $1 never became ready" >&2
+  return 1
+}
+
+submit_marker() {
+  curl -fsS -X POST -H 'Content-Type: application/json' -d "$MARKER_SPEC" \
+    "http://$CO_ADDR/v1/jobs" | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])'
+}
+
+job_field() { # id field
+  curl -fsS "http://$CO_ADDR/v1/jobs/$1" | python3 -c "import json,sys; print(json.load(sys.stdin)[\"$2\"])"
+}
+
+start_coordinator() { # workers
+  "$WORK/weserve" -role coordinator -addr "$CO_ADDR" -workers "$1" \
+    -heartbeat-timeout 1s >"$WORK/co$1.log" 2>&1 &
+  PIDS+=($!)
+}
+
+start_worker() { # port
+  "$WORK/weserve" -role worker -in "$WORK/g.csr" -backend sim -latency "$LATENCY" \
+    -join "http://$CO_ADDR" -addr "127.0.0.1:$1" -name "w$1" \
+    -runners 1 -worker-budget 4 >"$WORK/w$1.log" 2>&1 &
+  PIDS+=($!)
+  eval "W_PID_$1=$!"
+}
+
+run_load() { # out.json
+  # Open-loop at a rate well past one worker's capacity, so the single-worker
+  # wall clock measures service capacity (queueing), not the submission
+  # schedule — otherwise both runs finish with the schedule and scaling
+  # measures nothing.
+  "$WORK/weload" -addr "$CO_ADDR" -rate 32 -jobs 36 -count 30 -workers 2 \
+    -label cluster -out "$1"
+}
+
+fleet_queries() {
+  curl -fsS "http://$CO_ADDR/v1/cluster" \
+    | python3 -c 'import json,sys; print(json.load(sys.stdin)["fleet_queries"])'
+}
+
+stop_all() {
+  for p in "${PIDS[@]}"; do kill "$p" 2>/dev/null || true; done
+  for p in "${PIDS[@]}"; do wait "$p" 2>/dev/null || true; done
+  PIDS=()
+}
+
+echo "== baseline: coordinator + 1 worker at $LATENCY sim latency =="
+start_coordinator 1
+start_worker "${W_PORTS[0]}"
+wait_ready "$CO_ADDR"
+REF_ID=$(submit_marker)
+curl -fsS --max-time 300 "http://$CO_ADDR/v1/jobs/$REF_ID/stream" >"$WORK/ref.ndjson"
+run_load "$WORK/load1.json"
+Q1=$(fleet_queries)
+echo "baseline fleet_queries=$Q1"
+stop_all
+
+echo "== fleet: coordinator + 3 workers, identical job set =="
+start_coordinator 3
+for port in "${W_PORTS[@]}"; do start_worker "$port"; done
+wait_ready "$CO_ADDR"
+M1_ID=$(submit_marker)
+curl -fsS --max-time 300 "http://$CO_ADDR/v1/jobs/$M1_ID/stream" >"$WORK/fleet_marker.ndjson"
+run_load "$WORK/load3.json"
+Q3=$(fleet_queries)
+echo "fleet fleet_queries=$Q3"
+stop_all
+
+echo "== fresh fleet, kill -9 the worker running the marker mid-stream =="
+# Cold caches: at 10ms sim latency every cache miss is a real round trip, so
+# the marker runs long enough to interrupt deterministically.
+start_coordinator 3
+for port in "${W_PORTS[@]}"; do start_worker "$port"; done
+wait_ready "$CO_ADDR"
+M2_ID=$(submit_marker)
+curl -fsS --max-time 300 -N "http://$CO_ADDR/v1/jobs/$M2_ID/stream" >"$WORK/post.ndjson" &
+LOAD_PID=$!
+N=0
+for _ in $(seq 1 600); do
+  N=$(job_field "$M2_ID" samples || echo 0)
+  [ "$N" -ge 10 ] && break
+  sleep 0.05
+done
+if [ "$N" -lt 10 ]; then
+  echo "marker job never reached the kill point (samples=$N)" >&2
+  exit 1
+fi
+WIDX=$(job_field "$M2_ID" worker)
+WPORT=$(curl -fsS "http://$CO_ADDR/v1/cluster?refresh=0" | python3 -c "
+import json, sys
+s = json.load(sys.stdin)
+addr = s['workers'][$WIDX]['addr']
+print(addr.rsplit(':', 1)[1])")
+VICTIM=$(eval "echo \$W_PID_$WPORT")
+echo "killing worker $WIDX (port $WPORT, pid $VICTIM) at marker samples=$N (of 40)"
+kill -9 "$VICTIM"
+wait "$LOAD_PID" 2>/dev/null || true
+LOAD_PID=""
+
+STATE=$(job_field "$M2_ID" state)
+if [ "$STATE" != "done" ]; then
+  echo "marker ended $STATE after worker kill" >&2
+  tail -20 "$WORK/co3.log" >&2
+  exit 1
+fi
+ATTEMPTS=$(job_field "$M2_ID" attempts)
+curl -fsS "http://$CO_ADDR/metrics" >"$WORK/metrics.txt"
+
+python3 - "$WORK" "$WORK/entry.json" "$Q1" "$Q3" "$ATTEMPTS" <<'EOF'
+import json, sys
+
+work, out = sys.argv[1], sys.argv[2]
+q1, q3, attempts = int(sys.argv[3]), int(sys.argv[4]), int(sys.argv[5])
+
+def rows(path):
+    seq = []
+    for line in open(path):
+        line = line.strip()
+        if not line:
+            continue
+        d = json.loads(line)
+        if d.get("done"):
+            continue
+        if "node" in d:
+            seq.append((d["i"], d["node"], d["steps"]))
+    return seq
+
+def sps(path):
+    return json.load(open(path))["samples_per_sec"]
+
+# Scaling: 3 workers must clear 1.8x one worker on the identical job set.
+s1, s3 = sps(f"{work}/load1.json"), sps(f"{work}/load3.json")
+scale = s3 / s1 if s1 > 0 else 0.0
+if scale < 1.8:
+    raise SystemExit(f"fleet scaling {scale:.2f}x < 1.8x ({s3:.1f} vs {s1:.1f} samples/s)")
+
+# Charging: the fleet-wide unique-node meter must exactly equal the
+# single-worker run's over the identical (marker + weload) job set.
+if q3 != q1:
+    raise SystemExit(f"fleet charge parity broken: 3 workers {q3}, 1 worker {q1}")
+
+# Determinism + hand-off: the 3-worker marker (uninterrupted) and the
+# killed marker (after hand-off) must both match the single-worker marker
+# on (i, node, steps) — costs vary with cache warmth and are excluded.
+ref = rows(f"{work}/ref.ndjson")
+if len(ref) != 40:
+    raise SystemExit(f"baseline marker stream has {len(ref)} rows, want 40")
+for name in ("fleet_marker", "post"):
+    got = rows(f"{work}/{name}.ndjson")
+    if got != ref:
+        for i, (a, b) in enumerate(zip(ref, got)):
+            if a != b:
+                raise SystemExit(f"{name}: streams diverge at row {i}: baseline {a} vs {b}")
+        raise SystemExit(f"{name}: stream lengths differ: {len(ref)} vs {len(got)}")
+post = rows(f"{work}/post.ndjson")
+if attempts < 2:
+    raise SystemExit(f"marker attempts = {attempts}, want >= 2 after a worker kill")
+
+metrics = {}
+for line in open(f"{work}/metrics.txt"):
+    if line.startswith("#") or " " not in line:
+        continue
+    name, val = line.rsplit(" ", 1)
+    try:
+        metrics[name] = float(val)
+    except ValueError:
+        pass
+handoffs = metrics.get("walknotwait_cluster_handoffs_total", 0)
+if handoffs < 1:
+    raise SystemExit(f"cluster_handoffs_total = {handoffs}, want >= 1")
+
+load3 = json.load(open(f"{work}/load3.json"))
+record = {
+    "graph": {"model": "ba", "n": 3000, "m": 3, "seed": 7},
+    "backend": {"kind": "sim", "latency_ms": 10},
+    "workers": 3,
+    "samples_per_sec_1w": s1,
+    "samples_per_sec_3w": s3,
+    "scaling_x": scale,
+    "fleet_queries_1w": q1,
+    "fleet_queries_3w": q3,
+    "charge_parity": True,
+    "handoff_stream_identical": True,
+    "handoff_attempts": attempts,
+    "handoffs_total": handoffs,
+    "placement": load3.get("cluster", {}).get("workers", {}),
+}
+json.dump(record, open(out, "w"), indent=2)
+print(f"3-worker fleet: {scale:.2f}x samples/s ({s3:.1f} vs {s1:.1f}), "
+      f"charge parity {q3} == {q1}, "
+      f"hand-off stream identical over {len(post)} rows ({attempts} attempts)")
+EOF
+python3 scripts/bench_append.py "$OUT" "$WORK/entry.json" cluster

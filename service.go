@@ -3,6 +3,7 @@ package walknotwait
 import (
 	"net/http"
 
+	"repro/internal/cluster"
 	"repro/internal/serve"
 )
 
@@ -94,3 +95,41 @@ func NewServiceManager(eng *ServiceEngine, cfg ServiceConfig) *ServiceManager {
 // /v1/jobs (with NDJSON sample streaming), /healthz, and a Prometheus-text
 // /metrics endpoint.
 func NewServiceHandler(m *ServiceManager) http.Handler { return serve.Handler(m) }
+
+// The fleet facade scales the service to a coordinator/worker cluster
+// (internal/cluster): workers partition the shared neighbor cache by its
+// own shard function and resolve non-owned lookups through the shard
+// owner, so the fleet-wide unique-node charge (the paper's cost axis)
+// stays exactly equal to a single process's.
+
+// FleetCoordinator is the cluster frontend: it admits jobs over the same
+// HTTP surface a single daemon exposes, places them on live workers,
+// relays sample streams (handing off on worker loss with a client-visible
+// stream identical to an uninterrupted run), and aggregates fleet meters.
+type FleetCoordinator = cluster.Coordinator
+
+// FleetCoordinatorConfig sizes the fleet and its liveness, hand-off, and
+// durability policies.
+type FleetCoordinatorConfig = cluster.CoordinatorConfig
+
+// FleetWorker joins a ServiceManager to a fleet: registration, heartbeats,
+// shard ownership, and peer resolution.
+type FleetWorker = cluster.Worker
+
+// FleetWorkerConfig points a worker at its coordinator and advertise URL.
+type FleetWorkerConfig = cluster.WorkerConfig
+
+// FleetWorkerStats is one worker's meter snapshot as the coordinator sees
+// it (heartbeat piggyback or /cluster/v1/stats).
+type FleetWorkerStats = cluster.WorkerStats
+
+// NewFleetCoordinator starts a coordinator expecting cfg.Workers workers.
+func NewFleetCoordinator(cfg FleetCoordinatorConfig) (*FleetCoordinator, error) {
+	return cluster.NewCoordinator(cfg)
+}
+
+// NewFleetWorker wraps a manager as a fleet worker; call Start once its
+// Handler is listening at cfg.Advertise.
+func NewFleetWorker(m *ServiceManager, cfg FleetWorkerConfig) (*FleetWorker, error) {
+	return cluster.NewWorker(m, cfg)
+}
