@@ -23,11 +23,21 @@
 //	weload -addr 127.0.0.1:7117 -jobs 16 -concurrency 4 -count 20 -workers 2
 //	weload -addr 127.0.0.1:7117 -wait 10s -label warm -out BENCH_run.json
 //	weload -addr 127.0.0.1:7117 -rate 8 -jobs 64 -label open-loop
+//	weload -addr 127.0.0.1:7117 -dedup -zipf 1.2 -distinct 16 -jobs 200
 //
 // -wait polls /healthz until the daemon answers (for scripts that boot
 // weserve and immediately drive it). Seeds default to base+jobIndex so runs
 // are reproducible; pass -same-seed to make every job identical (the warm-
 // replay workload that isolates cache effects).
+//
+// -dedup switches to a zipfian repeat-submission mix: each job's seed is
+// drawn (deterministically, from the base seed) as base+rank with rank
+// zipf(-zipf)-distributed over -distinct values, modeling the few-hot-many-
+// cold query traffic a resident service actually sees. The record gains a
+// "dedup" section: result-cache hit rate (from the terminal lines' cached
+// marker) against the (jobs-distinct)/jobs floor, charges saved (the
+// daemon's walknotwait_queries_saved_total delta), and separate latency
+// digests for cached vs live jobs.
 //
 // The address may be a cluster coordinator (weserve -role coordinator) —
 // the API is identical. Coordinator job statuses carry a "worker" placement
@@ -44,6 +54,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -70,10 +81,14 @@ func main() {
 		out      = flag.String("out", "", "output path for the JSON record (default stdout)")
 		timeout  = flag.Duration("timeout", 5*time.Minute, "per-job client timeout")
 		rate     = flag.Float64("rate", 0, "open-loop submission rate in jobs/s (0 = closed-loop)")
+		dedup    = flag.Bool("dedup", false, "zipfian repeat-submission workload: draw each job's spec from -distinct seeds with zipf(-zipf) popularity and report result-cache hit rate + charges saved")
+		zipfS    = flag.Float64("zipf", 1.2, "zipf skew parameter s > 1 (-dedup)")
+		distinct = flag.Int("distinct", 16, "distinct specs in the zipfian mix (-dedup)")
 	)
 	flag.Parse()
 	if err := run(*addr, *jobs, *conc, *count, *workers, *design, *jobType,
-		*seed, *sameSeed, *wait, *label, *out, *timeout, *rate); err != nil {
+		*seed, *sameSeed, *wait, *label, *out, *timeout, *rate,
+		dedupOptions{on: *dedup, s: *zipfS, distinct: *distinct}); err != nil {
 		fmt.Fprintln(os.Stderr, "weload:", err)
 		os.Exit(1)
 	}
@@ -137,6 +152,62 @@ type record struct {
 	// is a cluster coordinator (its job statuses carry a "worker" placement
 	// field; a single daemon's do not).
 	Cluster *clusterBreakdown `json:"cluster,omitempty"`
+	// Dedup summarizes a -dedup run: the zipfian mix, the result-cache hit
+	// rate the client observed, the charges the cache saved, and how cached
+	// admissions compare to live runs latency-wise.
+	Dedup *dedupReport `json:"dedup,omitempty"`
+}
+
+// dedupOptions configures the -dedup zipfian repeat workload.
+type dedupOptions struct {
+	on       bool
+	s        float64
+	distinct int
+}
+
+// latSummary is a compact latency digest (milliseconds).
+type latSummary struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+func summarize(xs []float64) latSummary {
+	sort.Float64s(xs)
+	out := latSummary{N: len(xs)}
+	if len(xs) == 0 {
+		return out
+	}
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	out.Mean = sum / float64(len(xs))
+	out.P50 = percentile(xs, 0.50)
+	out.P99 = percentile(xs, 0.99)
+	out.Max = xs[len(xs)-1]
+	return out
+}
+
+// dedupReport is the -dedup section of the record. Hits and misses are
+// client-observed (the terminal line's cached marker), so they count exactly
+// this run's jobs; QueriesSaved is the daemon's meter delta across the run.
+type dedupReport struct {
+	DistinctSpecs int     `json:"distinct_specs"`
+	ZipfS         float64 `json:"zipf_s"`
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	HitRate       float64 `json:"hit_rate"`
+	// PredictedFloor is the hit rate a deterministic cache must reach on
+	// this mix once warm: at most one miss per distinct spec, so
+	// (jobs - distinct)/jobs. The zipf draw usually skips tail specs,
+	// putting the observed rate above the floor.
+	PredictedFloor  float64    `json:"predicted_hit_rate_floor"`
+	QueriesSaved    int64      `json:"queries_saved"`
+	CachedLatencyMS latSummary `json:"cached_latency_ms"`
+	LiveLatencyMS   latSummary `json:"live_latency_ms"`
 }
 
 // clusterBreakdown is the per-worker view of a run driven through a
@@ -167,7 +238,7 @@ type backendCounters struct {
 
 func run(addr string, jobs, conc, count, workers int, design, jobType string,
 	seed int64, sameSeed bool, wait time.Duration, label, out string,
-	timeout time.Duration, rate float64) error {
+	timeout time.Duration, rate float64, dd dedupOptions) error {
 	base := addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
@@ -189,6 +260,23 @@ func run(addr string, jobs, conc, count, workers int, design, jobType string,
 	if conc > jobs {
 		conc = jobs
 	}
+	// -dedup: pre-draw the whole zipfian seed assignment so the workload is
+	// identical regardless of goroutine interleaving — job i always runs
+	// seed+rank(i), rank drawn once from a seeded zipf over [0, distinct).
+	var assign []int64
+	if dd.on {
+		if dd.distinct < 1 || dd.distinct > jobs {
+			return fmt.Errorf("need 1 <= distinct <= jobs, got %d", dd.distinct)
+		}
+		if dd.s <= 1 {
+			return fmt.Errorf("need zipf s > 1, got %g", dd.s)
+		}
+		z := rand.NewZipf(rand.New(rand.NewSource(seed)), dd.s, 1, uint64(dd.distinct-1))
+		assign = make([]int64, jobs)
+		for i := range assign {
+			assign[i] = seed + int64(z.Uint64())
+		}
+	}
 
 	var (
 		next       atomic.Int64
@@ -197,9 +285,13 @@ func run(addr string, jobs, conc, count, workers int, design, jobType string,
 		shed       atomic.Int64
 		subRetries atomic.Int64
 		fleetQ     atomic.Int64
+		hits       atomic.Int64
+		misses     atomic.Int64
 		mu         sync.Mutex
 		latencies  []float64
 		sampleLats []float64
+		cachedLats []float64
+		liveLats   []float64
 		reasons    = make(map[string]int64)
 		placements = make(map[int]*workerLoad)
 		wg         sync.WaitGroup
@@ -208,6 +300,9 @@ func run(addr string, jobs, conc, count, workers int, design, jobType string,
 		s := seed + int64(i)
 		if sameSeed {
 			s = seed
+		}
+		if assign != nil {
+			s = assign[i]
 		}
 		t0 := time.Now()
 		res := runJob(client, base, jobType, design, count, workers, s)
@@ -248,13 +343,25 @@ func run(addr string, jobs, conc, count, workers int, design, jobType string,
 			fleetQ.Store(res.fleetQueries)
 		}
 		d := time.Since(t0)
+		lat := float64(d) / float64(time.Millisecond)
+		if res.cached {
+			hits.Add(1)
+		} else {
+			misses.Add(1)
+		}
 		mu.Lock()
-		latencies = append(latencies, float64(d)/float64(time.Millisecond))
+		latencies = append(latencies, lat)
 		sampleLats = append(sampleLats, res.stamps...)
+		if res.cached {
+			cachedLats = append(cachedLats, lat)
+		} else {
+			liveLats = append(liveLats, lat)
+		}
 		mu.Unlock()
 	}
 
 	before := scrapeBackend(client, base)
+	savedBefore := scrapeQueriesSaved(client, base)
 	began := time.Now()
 	if rate > 0 {
 		// Open-loop: one goroutine per job, launched on a fixed cadence
@@ -320,6 +427,23 @@ func run(addr string, jobs, conc, count, workers int, design, jobType string,
 			Failures: after.Failures - before.Failures,
 		}
 	}
+	if dd.on {
+		h, m := hits.Load(), misses.Load()
+		dr := &dedupReport{
+			DistinctSpecs:   dd.distinct,
+			ZipfS:           dd.s,
+			Hits:            h,
+			Misses:          m,
+			PredictedFloor:  float64(jobs-dd.distinct) / float64(jobs),
+			QueriesSaved:    scrapeQueriesSaved(client, base) - savedBefore,
+			CachedLatencyMS: summarize(cachedLats),
+			LiveLatencyMS:   summarize(liveLats),
+		}
+		if h+m > 0 {
+			dr.HitRate = float64(h) / float64(h+m)
+		}
+		rec.Dedup = dr
+	}
 	if len(placements) > 0 {
 		cb := &clusterBreakdown{Workers: make(map[string]workerLoad, len(placements))}
 		for idx, wl := range placements {
@@ -383,8 +507,11 @@ type jobResult struct {
 	stamps        []float64
 	submitRetries int64
 	shed          bool
-	reason        string
-	err           error
+	// cached marks a job answered from the daemon's result cache (the
+	// terminal stream line carries "cached": true).
+	cached bool
+	reason string
+	err    error
 	// worker is the fleet placement index from a coordinator's job status
 	// (nil against a single daemon, whose statuses have no "worker" field).
 	worker *int
@@ -487,6 +614,7 @@ func runJob(client *http.Client, base, jobType, design string, count, workers in
 		State         string `json:"state"`
 		Error         string `json:"error"`
 		FailureReason string `json:"failure_reason"`
+		Cached        bool   `json:"cached"`
 	}
 	for sc.Scan() {
 		line := sc.Bytes()
@@ -509,6 +637,7 @@ func runJob(client *http.Client, base, jobType, design string, count, workers in
 		res.err = err
 		return res
 	}
+	res.cached = terminal.Cached
 	if terminal.State != "done" {
 		res.reason = terminal.FailureReason
 		if res.reason == "" {
@@ -561,6 +690,31 @@ func scrapeHandoffs(client *http.Client, base string) int64 {
 		return 0
 	}
 	return sum.Handoffs
+}
+
+// scrapeQueriesSaved reads the daemon's result-cache charges-saved counter
+// from /metrics. Best-effort zero when unreachable or absent, so the -dedup
+// delta degrades to 0 instead of failing the run.
+func scrapeQueriesSaved(client *http.Client, base string) int64 {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		name, val, ok := strings.Cut(line, " ")
+		if !ok || name != "walknotwait_queries_saved_total" {
+			continue
+		}
+		var v int64
+		if _, err := fmt.Sscanf(strings.TrimSpace(val), "%d", &v); err == nil {
+			return v
+		}
+	}
+	return 0
 }
 
 // scrapeBackend reads the daemon's /metrics and extracts the backend

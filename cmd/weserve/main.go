@@ -76,6 +76,7 @@ func main() {
 		maxWork = flag.Int("max-workers-per-job", 0, "per-job worker clamp (0 = the whole budget)")
 		retain  = flag.Duration("retention", 0, "how long finished job records stay queryable (0 = 15m, negative disables eviction)")
 		sweep   = flag.Duration("sweep", 0, "retention sweep interval (0 = retention/10, clamped to [1s,1m])")
+		rcache  = flag.Int64("result-cache-bytes", 0, "job result-cache budget: repeat submissions are served from memoized results (0 = 64 MiB, negative disables)")
 
 		faultRate = flag.Float64("faultrate", 0, "per-round-trip backend fault probability in [0,1) (0 disables injection)")
 		faultSeed = flag.Int64("fault-seed", 1, "seed of the deterministic fault schedule")
@@ -109,7 +110,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "weserve: -role coordinator requires -workers >= 1")
 			os.Exit(2)
 		}
-		if err := runCoordinator(*addr, *workers, *hbTimeout, jcfg); err != nil {
+		if err := runCoordinator(*addr, *workers, *hbTimeout, jcfg, *rcache); err != nil {
 			fmt.Fprintln(os.Stderr, "weserve:", err)
 			os.Exit(1)
 		}
@@ -141,7 +142,7 @@ func main() {
 	}
 	faults := wnw.FaultOptions{Rate: *faultRate, Seed: *faultSeed, Outage: *outage, Retries: *retries}
 	if err := run(*in, *backend, *latency, *jitter, *fanout, faults, *addr,
-		*queue, *runners, *budget, *maxWork, *retain, *sweep, jcfg, *pprofOn, fleet); err != nil {
+		*queue, *runners, *budget, *maxWork, *retain, *sweep, *rcache, jcfg, *pprofOn, fleet); err != nil {
 		fmt.Fprintln(os.Stderr, "weserve:", err)
 		os.Exit(1)
 	}
@@ -156,7 +157,7 @@ type fleetOptions struct {
 
 // runCoordinator serves the fleet frontend: no graph, no engine — only the
 // registry, the job relay, and the aggregated meters.
-func runCoordinator(addr string, workers int, hbTimeout time.Duration, jcfg serve.JournalConfig) error {
+func runCoordinator(addr string, workers int, hbTimeout time.Duration, jcfg serve.JournalConfig, cacheBytes int64) error {
 	var jl *serve.Journal
 	var err error
 	if jcfg.Dir != "" {
@@ -168,6 +169,7 @@ func runCoordinator(addr string, workers int, hbTimeout time.Duration, jcfg serv
 	}
 	co, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
 		Workers: workers, HeartbeatTimeout: hbTimeout, Journal: jl,
+		CacheBytes: cacheBytes,
 	})
 	if err != nil {
 		return err
@@ -196,8 +198,8 @@ func runCoordinator(addr string, workers int, hbTimeout time.Duration, jcfg serv
 
 func run(in, backendName string, latency, jitter time.Duration, fanout int,
 	faults wnw.FaultOptions, addr string, queue, runners, budget, maxWork int,
-	retention, sweep time.Duration, jcfg serve.JournalConfig, pprofOn bool,
-	fleet fleetOptions) error {
+	retention, sweep time.Duration, cacheBytes int64, jcfg serve.JournalConfig,
+	pprofOn bool, fleet fleetOptions) error {
 	be, cleanup, err := wnw.OpenBackend(in, backendName, latency, jitter, fanout)
 	if err != nil {
 		return err
@@ -230,6 +232,8 @@ func run(in, backendName string, latency, jitter time.Duration, fanout int,
 		Retention:        retention,
 		SweepInterval:    sweep,
 		Journal:          jl,
+		CacheBytes:       cacheBytes,
+		Logf:             log.Printf,
 	})
 	if jl != nil {
 		resumed, rehydrated := mgr.RecoveredCounts()
@@ -238,8 +242,13 @@ func run(in, backendName string, latency, jitter time.Duration, fanout int,
 		}
 	}
 	cfg := mgr.Config()
-	log.Printf("weserve: graph %q (%d nodes) backend=%s addr=%s runners=%d worker-budget=%d queue=%d retention=%v",
-		in, net.NumNodes(), backendName, addr, cfg.Runners, cfg.WorkerBudget, cfg.QueueDepth, cfg.Retention)
+	log.Printf("weserve: graph %q (%d nodes, id=%s) backend=%s addr=%s runners=%d worker-budget=%d queue=%d retention=%v",
+		in, net.NumNodes(), eng.GraphID(), backendName, addr, cfg.Runners, cfg.WorkerBudget, cfg.QueueDepth, cfg.Retention)
+	if rcs := mgr.ResultCacheStats(); rcs.Enabled {
+		log.Printf("weserve: result cache on: budget=%d bytes", rcs.MaxBytes)
+	} else {
+		log.Printf("weserve: result cache disabled")
+	}
 
 	handler := serve.Handler(mgr)
 	var wk *cluster.Worker

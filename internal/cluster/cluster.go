@@ -38,6 +38,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+
+	"repro/internal/serve"
 )
 
 // Protocol paths mounted by Worker.Handler and Coordinator.Handler.
@@ -86,6 +88,17 @@ type WorkerStats struct {
 	// installed would charge their unique nodes locally AND at the owner,
 	// breaking exact fleet-wide accounting.
 	Partitioned bool `json:"partitioned"`
+	// Result-cache meters (the worker's own serve-layer job result cache).
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEvictions int64 `json:"cache_evictions"`
+	CacheBytes     int64 `json:"cache_bytes"`
+	// Norm is the worker's spec-normalization environment. The coordinator
+	// adopts it to canonicalize and digest incoming specs fleet-side, so
+	// repeat submissions are answered without dispatching to any worker.
+	// Env drift between coordinator and worker can only cause cache misses,
+	// never false hits: entries are stored under worker-computed digests.
+	Norm *serve.NormEnv `json:"norm,omitempty"`
 }
 
 // HeartbeatRequest refreshes a worker's liveness and meters.

@@ -136,12 +136,13 @@ func (tf *testFleet) submit(t *testing.T, spec serve.JobSpec) JobStatus {
 
 // streamRow is one relayed NDJSON line.
 type streamRow struct {
-	Done  bool   `json:"done"`
-	State string `json:"state"`
-	Error string `json:"error"`
-	I     *int   `json:"i"`
-	Node  int    `json:"node"`
-	Steps int    `json:"steps"`
+	Done   bool   `json:"done"`
+	State  string `json:"state"`
+	Error  string `json:"error"`
+	Cached bool   `json:"cached"`
+	I      *int   `json:"i"`
+	Node   int    `json:"node"`
+	Steps  int    `json:"steps"`
 }
 
 // readStream consumes a job's stream from the coordinator, invoking onRow
@@ -384,5 +385,93 @@ func TestNoWorkersShed(t *testing.T) {
 	json.NewDecoder(resp.Body).Decode(&shed)
 	if shed.Error != ShedNoWorkers {
 		t.Fatalf("shed reason %q, want %q", shed.Error, ShedNoWorkers)
+	}
+}
+
+// A repeat submission through a 3-worker fleet must be answered by the
+// coordinator's result cache: no worker dispatch, an identical replayed
+// stream, frozen worker meters, and the hit visible in the cluster summary.
+func TestFleetRepeatServedFromCoordinatorCache(t *testing.T) {
+	g := testGraph()
+	tf := startFleet(t, 3, func() *osn.Network { return osn.NewNetwork(g) },
+		serve.Config{Runners: 1, WorkerBudget: 4}, CoordinatorConfig{})
+	defer tf.close()
+
+	spec := serve.JobSpec{Type: serve.TypeSample, Count: 30, Seed: 13, Workers: 2}
+	st := tf.submit(t, spec)
+	if st.Digest == "" {
+		t.Fatal("accepted status carries no digest")
+	}
+	rowsA, termA := tf.readStream(t, st.ID, nil)
+	if termA.State != string(serve.JobDone) || termA.Cached {
+		t.Fatalf("live run terminal: %+v", termA)
+	}
+
+	// The cache entry is published before the terminal line reaches the
+	// client, but the norm env arrives on a heartbeat — wait for adoption.
+	deadline := time.Now().Add(10 * time.Second)
+	for tf.co.normEnv.Load() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator never adopted a worker norm env")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if tf.co.ResultCacheStats().Entries == 0 {
+		t.Fatal("completed job not memoized coordinator-side")
+	}
+
+	before := make([]WorkerStats, len(tf.wks))
+	for i, tw := range tf.wks {
+		before[i] = tw.wk.Stats()
+	}
+
+	// Resubmit with equivalent-but-different spelling: the coordinator must
+	// canonicalize fleet-side and answer without dispatching.
+	st2 := tf.submit(t, serve.JobSpec{Type: serve.TypeSample, Design: "SRW",
+		Count: 30, Seed: 13, Workers: 2, DeadlineMS: 60000})
+	if st2.State != serve.JobDone {
+		t.Fatalf("repeat not instantly terminal: %+v", st2)
+	}
+	if st2.Result == nil || !st2.Result.Cached || st2.Result.Queries != 0 {
+		t.Fatalf("repeat result: %+v", st2.Result)
+	}
+	if st2.Digest != st.Digest {
+		t.Fatalf("digest drifted: live %s repeat %s", st.Digest, st2.Digest)
+	}
+	if st2.Worker != -1 || st2.Attempts != 0 {
+		t.Fatalf("cached repeat was placed on a worker: %+v", st2)
+	}
+
+	rowsB, termB := tf.readStream(t, st2.ID, nil)
+	if termB.State != string(serve.JobDone) || !termB.Cached {
+		t.Fatalf("cached terminal line: %+v", termB)
+	}
+	if len(rowsB) != len(rowsA) {
+		t.Fatalf("row count: cached %d live %d", len(rowsB), len(rowsA))
+	}
+	for i := range rowsA {
+		if *rowsB[i].I != *rowsA[i].I || rowsB[i].Node != rowsA[i].Node || rowsB[i].Steps != rowsA[i].Steps {
+			t.Fatalf("row %d differs: cached (%d,%d,%d) live (%d,%d,%d)",
+				i, *rowsB[i].I, rowsB[i].Node, rowsB[i].Steps,
+				*rowsA[i].I, rowsA[i].Node, rowsA[i].Steps)
+		}
+	}
+
+	// No worker saw the repeat: every meter a dispatched job would move —
+	// samples produced, neighbor-cache calls, fleet charges — is frozen.
+	for i, tw := range tf.wks {
+		after := tw.wk.Stats()
+		if after.Samples != before[i].Samples || after.Calls != before[i].Calls ||
+			after.Queries != before[i].Queries || after.OwnedUnique != before[i].OwnedUnique {
+			t.Fatalf("worker %d meters moved on a cached hit: before %+v after %+v", i, before[i], after)
+		}
+	}
+
+	sum := tf.co.Summary(true)
+	if sum.Cache.Hits < 1 || sum.CacheHits < 1 {
+		t.Fatalf("summary does not show the hit: %+v", sum.Cache)
+	}
+	if sum.Cache.QueriesSaved <= 0 {
+		t.Fatalf("queries_saved = %d, want > 0", sum.Cache.QueriesSaved)
 	}
 }

@@ -34,6 +34,11 @@ type CoordinatorConfig struct {
 	// DispatchTimeout bounds one submit/status call to a worker (default
 	// 10s). Streams are not bounded by it.
 	DispatchTimeout time.Duration
+	// CacheBytes bounds the coordinator-side job result cache: completed
+	// jobs are memoized by the digest their worker reported, and repeat
+	// submissions are answered without dispatching to any worker. Zero
+	// selects serve.DefaultCacheBytes; negative disables it.
+	CacheBytes int64
 }
 
 func (c CoordinatorConfig) withDefaults() (CoordinatorConfig, error) {
@@ -48,6 +53,9 @@ func (c CoordinatorConfig) withDefaults() (CoordinatorConfig, error) {
 	}
 	if c.DispatchTimeout <= 0 {
 		c.DispatchTimeout = 10 * time.Second
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = serve.DefaultCacheBytes
 	}
 	return c, nil
 }
@@ -96,6 +104,14 @@ type Coordinator struct {
 
 	jl atomic.Pointer[serve.Journal]
 
+	// results memoizes completed fleet jobs by their worker-reported spec
+	// digest (nil when disabled); normEnv is the normalization environment
+	// adopted from worker heartbeats, needed to compute lookup digests
+	// coordinator-side. Until the first heartbeat arrives, submissions
+	// dispatch normally (a startup window of misses, never a wrong hit).
+	results *serve.ResultCache
+	normEnv atomic.Pointer[serve.NormEnv]
+
 	jobsSubmitted atomic.Int64
 	jobsDone      atomic.Int64
 	jobsFailed    atomic.Int64
@@ -127,6 +143,9 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		workers: make([]workerSlot, cfg.Workers),
 		jobs:    make(map[string]*cjob),
 		stop:    make(chan struct{}),
+	}
+	if cfg.CacheBytes > 0 {
+		co.results = serve.NewResultCache(cfg.CacheBytes)
 	}
 	if cfg.Journal != nil {
 		co.jl.Store(cfg.Journal)
@@ -283,6 +302,9 @@ func (co *Coordinator) heartbeat(req HeartbeatRequest) (HeartbeatResponse, error
 	s.lastSeen = now
 	s.stats = req.Stats
 	s.lastOwned = req.Stats.OwnedUnique
+	if req.Stats.Norm != nil {
+		co.normEnv.Store(req.Stats.Norm)
+	}
 	return HeartbeatResponse{Peers: co.peersLocked(), Complete: co.completeLocked(now)}, nil
 }
 
@@ -384,6 +406,9 @@ func (co *Coordinator) refreshStats() {
 				co.workers[t.idx].lastSeen = time.Now()
 			}
 			co.mu.Unlock()
+			if st.Norm != nil {
+				co.normEnv.Store(st.Norm)
+			}
 		}(t)
 	}
 	wg.Wait()
@@ -411,6 +436,12 @@ type ClusterSummary struct {
 	// at fixed seed/workers).
 	FleetQueries int64 `json:"fleet_queries"`
 	Handoffs     int64 `json:"handoffs"`
+	// Cache is the coordinator-side result cache snapshot; CacheHits and
+	// CacheMisses aggregate result-cache traffic fleet-wide (coordinator
+	// lookups plus every worker's own cache, last reported values).
+	Cache       serve.ResultCacheStats `json:"jobs_cache"`
+	CacheHits   int64                  `json:"cache_hits"`
+	CacheMisses int64                  `json:"cache_misses"`
 }
 
 // Summary snapshots the fleet, optionally refreshing worker stats first.
@@ -425,7 +456,10 @@ func (co *Coordinator) Summary(refresh bool) ClusterSummary {
 		Workers:      make([]WorkerSummary, len(co.workers)),
 		WorkersTotal: len(co.workers),
 		Handoffs:     co.handoffs.Load(),
+		Cache:        co.ResultCacheStats(),
 	}
+	out.CacheHits = out.Cache.Hits
+	out.CacheMisses = out.Cache.Misses
 	for i := range co.workers {
 		s := &co.workers[i]
 		up := co.alive(s, now)
@@ -437,8 +471,19 @@ func (co *Coordinator) Summary(refresh bool) ClusterSummary {
 			out.WorkersLive++
 		}
 		out.FleetQueries += s.lastOwned
+		out.CacheHits += s.stats.CacheHits
+		out.CacheMisses += s.stats.CacheMisses
 	}
 	return out
+}
+
+// ResultCacheStats returns the coordinator-side result cache snapshot
+// (Enabled false, all zeros, when disabled).
+func (co *Coordinator) ResultCacheStats() serve.ResultCacheStats {
+	if co.results == nil {
+		return serve.ResultCacheStats{}
+	}
+	return co.results.Stats()
 }
 
 // Handler returns the coordinator's HTTP surface: the weserve-compatible

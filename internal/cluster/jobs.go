@@ -38,6 +38,7 @@ type cjob struct {
 	cond      sync.Cond
 	cancelFn  context.CancelFunc
 	spec      serve.JobSpec // normalized by the first worker's admission
+	digest    string        // canonical content address (worker- or coordinator-computed)
 	state     serve.JobState
 	errMsg    string
 	reason    string
@@ -138,7 +139,7 @@ func (j *cjob) finalize(state serve.JobState, errMsg, reason string, result *ser
 // recordLocked snapshots the job as a journal record. mu held.
 func (j *cjob) recordLocked() serve.JobRecord {
 	rec := serve.JobRecord{
-		ID: j.id, Seq: j.seq, Spec: j.spec, State: j.state,
+		ID: j.id, Seq: j.seq, Digest: j.digest, Spec: j.spec, State: j.state,
 		Error: j.errMsg, Reason: j.reason, Durable: j.durable,
 		Result:      j.result,
 		SubmittedMS: j.submitted.UnixMilli(),
@@ -161,7 +162,7 @@ func (j *cjob) status() JobStatus {
 	defer j.mu.Unlock()
 	st := serve.JobStatus{
 		ID: j.id, State: j.state, Spec: j.spec,
-		Error: j.errMsg, FailureReason: j.reason,
+		Error: j.errMsg, FailureReason: j.reason, Digest: j.digest,
 		Samples: len(j.samples), Result: j.result,
 	}
 	switch {
@@ -229,6 +230,9 @@ func (j *cjob) streamTo(w http.ResponseWriter, r *http.Request) {
 			}
 			if st.FailureReason != "" {
 				line["failure_reason"] = st.FailureReason
+			}
+			if st.Result != nil && st.Result.Cached {
+				line["cached"] = true
 			}
 			enc.Encode(line)
 			if fl != nil {
@@ -331,6 +335,23 @@ func (co *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		shedOwn(w, "draining")
 		return
 	}
+	// Fleet-side result cache: normalize and digest the spec under the env
+	// adopted from worker heartbeats, and answer a memoized digest without
+	// dispatching to any worker — no fleet occupancy, no worker round trip,
+	// and (like the serve-layer cache) no shed path can refuse it. A spec
+	// the env rejects falls through: the worker's own validation produces
+	// the client-facing error, keeping rejections identical either way.
+	if co.results != nil {
+		if env := co.normEnv.Load(); env != nil {
+			if norm, err := serve.NormalizeSpec(spec, *env); err == nil {
+				digest := serve.SpecDigest(*env, norm)
+				if rows, cres, ok := co.results.Get(digest); ok {
+					writeJSON(w, http.StatusAccepted, co.admitCached(norm, digest, rows, cres))
+					return
+				}
+			}
+		}
+	}
 	pl, fwd := co.dispatchOnce(r.Context(), spec)
 	if pl == nil {
 		if fwd != nil {
@@ -350,6 +371,7 @@ func (co *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	co.seq++
 	id := fmt.Sprintf("job-%06d", co.seq)
 	j := co.newCJob(id, co.seq, pl.status.Spec)
+	j.digest = pl.status.Digest
 	j.worker = pl.idx
 	j.remoteID = pl.status.ID
 	j.attempts = 1
@@ -369,6 +391,48 @@ func (co *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	co.wg.Add(1)
 	go co.relay(j, pl)
 	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// admitCached registers a repeat submission as an instantly-terminal
+// coordinator job served from the result cache: the original run's rows
+// verbatim, a fresh summary charging zero queries, and no worker placement
+// (Worker stays -1, Attempts 0 — the fleet never saw it). The terminal
+// record is journaled (terminal records are self-contained at replay), so
+// the hit survives coordinator restarts like any relayed completion.
+func (co *Coordinator) admitCached(spec serve.JobSpec, digest string, rows []serve.Sample, cres *serve.JobResult) JobStatus {
+	fleet := co.FleetQueries()
+	now := time.Now()
+	co.mu.Lock()
+	co.seq++
+	id := fmt.Sprintf("job-%06d", co.seq)
+	j := co.newCJob(id, co.seq, spec)
+	j.digest = digest
+	j.state = serve.JobDone
+	j.samples = rows
+	j.durable = len(rows)
+	j.result = &serve.JobResult{
+		Samples:        cres.Samples,
+		Queries:        0,
+		FleetQueries:   fleet,
+		AcceptanceRate: cres.AcceptanceRate,
+		Estimate:       cres.Estimate,
+		Nodes:          cres.Nodes,
+		Cached:         true,
+	}
+	j.started = now
+	j.finished = now
+	co.jobs[id] = j
+	co.order = append(co.order, id)
+	co.mu.Unlock()
+	co.jobsSubmitted.Add(1)
+	co.jobsDone.Add(1)
+	if jl := co.journal(); jl != nil {
+		j.mu.Lock()
+		rec := j.recordLocked()
+		j.mu.Unlock()
+		jl.AppendTerminal(rec)
+	}
+	return j.status()
 }
 
 // cancelJob cancels a coordinator job: forward the DELETE to the placed
@@ -524,6 +588,17 @@ func (co *Coordinator) finishFromWorker(j *cjob, pl *placement) bool {
 	if resp.StatusCode != http.StatusOK || json.Unmarshal(body, &st) != nil || !st.State.Terminal() {
 		return false
 	}
+	if st.State == serve.JobDone && st.Digest != "" && co.results != nil {
+		// Memoize the clean completion under the worker's digest. The row
+		// log is complete (the terminal line follows every relayed row) and
+		// append-only, so sharing it with the cache is safe; Put itself
+		// drops partial results.
+		j.mu.Lock()
+		j.digest = st.Digest
+		rows := j.samples
+		j.mu.Unlock()
+		co.results.Put(st.Digest, rows, st.Result)
+	}
 	j.finalize(st.State, st.Error, st.FailureReason, st.Result)
 	return true
 }
@@ -612,11 +687,18 @@ func (co *Coordinator) recoverFromJournal(jl *serve.Journal) {
 			j.state = rec.State
 			j.errMsg = rec.Error
 			j.reason = rec.Reason
+			j.digest = rec.Digest
 			j.result = rec.Result
 			j.samples = rec.Rows
 			j.durable = len(rec.Rows)
 			if rec.FinishedMS > 0 {
 				j.finished = time.UnixMilli(rec.FinishedMS)
+			}
+			// Re-seed the coordinator cache from rehydrated clean
+			// completions, so repeats keep hitting fleet-side across
+			// restarts (Put drops partial results itself).
+			if rec.State == serve.JobDone && rec.Digest != "" && co.results != nil {
+				co.results.Put(rec.Digest, rec.Rows, rec.Result)
 			}
 		} else {
 			j.durable = rec.Durable

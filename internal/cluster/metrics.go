@@ -42,6 +42,14 @@ func (co *Coordinator) WriteProm(w io.Writer) {
 	counter("walknotwait_cluster_handoffs_total", "Jobs re-dispatched after losing their worker.", co.handoffs.Load())
 	counter("walknotwait_cluster_shed_forwarded_total", "Worker-side 503 sheds relayed verbatim to clients.", co.shedForwarded.Load())
 
+	rcs := co.ResultCacheStats()
+	counter("walknotwait_jobs_cache_hits_total", "Repeat submissions answered from the coordinator's result cache (no worker dispatch).", rcs.Hits)
+	counter("walknotwait_jobs_cache_misses_total", "Submissions that missed the coordinator's result cache and were dispatched.", rcs.Misses)
+	counter("walknotwait_jobs_cache_evictions_total", "Cached job results evicted by the coordinator's LRU byte budget.", rcs.Evictions)
+	gauge("walknotwait_jobs_cache_bytes", "Bytes held by the coordinator's job result cache.", float64(rcs.Bytes))
+	gauge("walknotwait_jobs_cache_entries", "Job results currently cached coordinator-side.", float64(rcs.Entries))
+	counter("walknotwait_queries_saved_total", "Query charges avoided by coordinator result-cache hits (the original runs' costs).", rcs.QueriesSaved)
+
 	sum := co.Summary(false)
 	counter("walknotwait_queries_charged_total", "Fleet-wide query cost: sum of per-worker owned-unique meters (the paper's cost axis).", sum.FleetQueries)
 	gauge("walknotwait_cluster_workers_live", "Fleet slots currently heartbeating.", float64(sum.WorkersLive))

@@ -122,6 +122,8 @@ func (w *Worker) Stats() WorkerStats {
 	// A one-worker fleet needs no partition: local charging is already exact.
 	partitioned := w.installed || (w.joined && w.complete && w.fleet <= 1)
 	w.mu.Unlock()
+	rcs := w.mgr.ResultCacheStats()
+	env := w.mgr.NormEnv()
 	return WorkerStats{
 		Name:            w.cfg.Name,
 		Samples:         met.Samples(),
@@ -132,6 +134,11 @@ func (w *Worker) Stats() WorkerStats {
 		OwnedUnique:     cs.OwnedUnique,
 		RemoteFallbacks: cs.RemoteFallbacks,
 		Partitioned:     partitioned,
+		CacheHits:       rcs.Hits,
+		CacheMisses:     rcs.Misses,
+		CacheEvictions:  rcs.Evictions,
+		CacheBytes:      rcs.Bytes,
+		Norm:            &env,
 	}
 }
 

@@ -32,6 +32,9 @@ package serve
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
 	"math/rand"
 	"sync"
 
@@ -66,6 +69,10 @@ type Engine struct {
 	defaultStart int
 	// defaultWalkLen is the paper's 2·D̄+1 with D̄ estimated once at load.
 	defaultWalkLen int
+	// graphID fingerprints the loaded graph (|V|, |E|, a strided degree
+	// probe); the result cache scopes its digests with it so results from
+	// different graphs can never be confused.
+	graphID string
 
 	mu     sync.Mutex
 	crawls map[crawlKey]*core.CrawlTable
@@ -121,8 +128,30 @@ func NewEngine(net *osn.Network) *Engine {
 		// daemon state into job specs.
 		e.defaultWalkLen = 2*g.EstimateDiameter(4, rand.New(rand.NewSource(1))) + 1
 	}
+	e.graphID = fingerprintGraph(net)
 	return e
 }
+
+// fingerprintGraph derives a stable graph id from the loaded network: |V|,
+// |E|, and (when a ground-truth view exists) up to 64 strided degree probes.
+// Deterministic per graph, computed once at load against the raw view —
+// never through the metered or simulated path.
+func fingerprintGraph(net *osn.Network) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v=%d|e=%d", net.NumNodes(), net.Backend().NumEdges())
+	if g := net.Graph(); g != nil && g.NumNodes() > 0 {
+		n := g.NumNodes()
+		stride := n/64 + 1
+		for v := 0; v < n; v += stride {
+			fmt.Fprintf(h, "|%d:%d", v, g.Degree(v))
+		}
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:8])
+}
+
+// GraphID returns the engine's graph fingerprint (the result-cache scope).
+func (e *Engine) GraphID() string { return e.graphID }
 
 // Network returns the served network.
 func (e *Engine) Network() *osn.Network { return e.net }

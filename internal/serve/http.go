@@ -41,8 +41,10 @@ func Handler(m *Manager) http.Handler {
 			"ok":            true,
 			"uptime_s":      m.met.Uptime().Seconds(),
 			"graph_nodes":   m.eng.NumNodes(),
+			"graph_id":      m.eng.GraphID(),
 			"jobs_inflight": m.met.jobsInFlight.Load(),
 			"samples":       m.met.Samples(),
+			"jobs_cache":    m.ResultCacheStats(),
 		})
 	}
 	mux.HandleFunc("/healthz", live)
@@ -189,6 +191,9 @@ func streamJob(w http.ResponseWriter, r *http.Request, job *Job) {
 			}
 			if st.FailureReason != "" {
 				line["failure_reason"] = st.FailureReason
+			}
+			if st.Result != nil && st.Result.Cached {
+				line["cached"] = true
 			}
 			enc.Encode(line)
 			if fl != nil {

@@ -123,6 +123,10 @@ type JobResult struct {
 	Estimate *float64 `json:"estimate,omitempty"`
 	// Nodes is the accepted sample sequence, in order.
 	Nodes []int `json:"nodes,omitempty"`
+	// Cached marks a job served from the result cache: the rows and summary
+	// were replayed from an earlier completed run of the same digest, with
+	// zero new walk steps and zero new query charges (Queries is 0).
+	Cached bool `json:"cached,omitempty"`
 }
 
 // JobStatus is the JSON snapshot served for GET /v1/jobs/{id}.
@@ -133,11 +137,15 @@ type JobStatus struct {
 	Error string   `json:"error,omitempty"`
 	// FailureReason is the typed cause of a failed job:
 	// "backend_unavailable" or "deadline_exceeded" (empty otherwise).
-	FailureReason string     `json:"failure_reason,omitempty"`
-	Samples       int        `json:"samples"`
-	QueueMS       float64    `json:"queue_ms"`
-	RunMS         float64    `json:"run_ms"`
-	Result        *JobResult `json:"result,omitempty"`
+	FailureReason string `json:"failure_reason,omitempty"`
+	// Digest is the job's canonical content address — SpecDigest over
+	// (graph id, normalized spec) — so clients can correlate repeat
+	// submissions with the cached result they will hit.
+	Digest  string     `json:"digest,omitempty"`
+	Samples int        `json:"samples"`
+	QueueMS float64    `json:"queue_ms"`
+	RunMS   float64    `json:"run_ms"`
+	Result  *JobResult `json:"result,omitempty"`
 }
 
 // Job is one submitted sampling job. All mutable state is guarded by mu;
@@ -145,7 +153,8 @@ type JobStatus struct {
 // number of streamers can follow along.
 type Job struct {
 	id     string
-	seq    int64 // numeric id suffix, persisted for id continuity across restarts
+	seq    int64  // numeric id suffix, persisted for id continuity across restarts
+	digest string // canonical content address (SpecDigest of the normalized spec)
 	spec   JobSpec
 	ctx    context.Context
 	cancel context.CancelCauseFunc
@@ -182,6 +191,9 @@ func newJob(id string, spec JobSpec, now time.Time) *Job {
 
 // ID returns the job's identifier.
 func (j *Job) ID() string { return j.id }
+
+// Digest returns the job's canonical content address (the result-cache key).
+func (j *Job) Digest() string { return j.digest }
 
 // Spec returns the normalized spec the job runs under.
 func (j *Job) Spec() JobSpec { return j.spec }
@@ -223,6 +235,7 @@ func (j *Job) Status() JobStatus {
 		Spec:          j.spec,
 		Error:         j.errMsg,
 		FailureReason: j.reason,
+		Digest:        j.digest,
 		Samples:       len(j.samples),
 		Result:        j.result,
 	}
@@ -307,6 +320,16 @@ type Config struct {
 	// deterministic re-run. Open it with OpenJournal; the manager takes
 	// ownership and closes it on Close.
 	Journal *Journal
+	// CacheBytes bounds the content-addressed job result cache (see
+	// cache.go): completed jobs are memoized by spec digest and repeat
+	// submissions are served from the retained record with zero new walk
+	// steps or charges. Zero selects DefaultCacheBytes (64 MiB); negative
+	// disables the cache.
+	CacheBytes int64
+	// Logf, when non-nil, receives one line per job admission (id + digest,
+	// and whether it was served from the result cache). weserve wires it to
+	// its process log.
+	Logf func(format string, args ...any)
 }
 
 // DefaultRetention is the terminal-job record retention used when
@@ -329,6 +352,9 @@ func (c Config) withDefaults() Config {
 	if c.Retention == 0 {
 		c.Retention = DefaultRetention
 	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = DefaultCacheBytes
+	}
 	if c.SweepInterval <= 0 {
 		c.SweepInterval = c.Retention / 10
 		if c.SweepInterval < time.Second {
@@ -346,6 +372,13 @@ type Manager struct {
 	eng *Engine
 	cfg Config
 	met *Metrics
+	env NormEnv
+
+	// results memoizes completed jobs by spec digest (nil when disabled).
+	// Admission consults it before the bounded queue, so hits bypass
+	// admission control entirely — a repeat submission is served even while
+	// the queue is shedding fresh work.
+	results *ResultCache
 
 	queue chan *Job
 
@@ -384,6 +417,16 @@ func NewManager(eng *Engine, cfg Config) *Manager {
 		stopSweep: make(chan struct{}),
 	}
 	m.cond.L = &m.mu
+	m.env = NormEnv{
+		GraphID:          eng.GraphID(),
+		NumNodes:         eng.NumNodes(),
+		DefaultStart:     eng.defaultStart,
+		DefaultWalkLen:   eng.defaultWalkLen,
+		MaxWorkersPerJob: cfg.MaxWorkersPerJob,
+	}
+	if cfg.CacheBytes > 0 {
+		m.results = NewResultCache(cfg.CacheBytes)
+	}
 	m.recoverStart = time.Now()
 	if cfg.Journal != nil {
 		m.jl.Store(cfg.Journal)
@@ -464,60 +507,25 @@ func (m *Manager) Engine() *Engine { return m.eng }
 // Config returns the effective (defaulted) configuration.
 func (m *Manager) Config() Config { return m.cfg }
 
-// normalize fills spec defaults and validates; the result is the contract
-// the job's determinism is stated over.
+// normalize fills spec defaults and validates against the manager's
+// environment; the result is the contract the job's determinism is stated
+// over (see NormalizeSpec).
 func (m *Manager) normalize(spec JobSpec) (JobSpec, error) {
-	if spec.Type == "" {
-		spec.Type = TypeSample
+	return NormalizeSpec(spec, m.env)
+}
+
+// NormEnv returns the normalization environment this manager admits specs
+// under. The cluster coordinator mirrors it fleet-side so coordinator and
+// worker compute identical digests.
+func (m *Manager) NormEnv() NormEnv { return m.env }
+
+// ResultCacheStats returns a snapshot of the job result cache's meters
+// (Enabled false, all zeros, when the cache is disabled).
+func (m *Manager) ResultCacheStats() ResultCacheStats {
+	if m.results == nil {
+		return ResultCacheStats{}
 	}
-	switch spec.Type {
-	case TypeSample, TypeEstimateMean, TypeWalkPath:
-	default:
-		return spec, fmt.Errorf("serve: unknown job type %q", spec.Type)
-	}
-	if spec.Design == "" {
-		spec.Design = "srw"
-	}
-	if _, err := walk.ByName(spec.Design); err != nil {
-		return spec, err
-	}
-	if spec.Count < 0 {
-		return spec, fmt.Errorf("serve: negative count %d", spec.Count)
-	}
-	if spec.Count == 0 {
-		spec.Count = 10
-	}
-	if spec.Seed == 0 {
-		spec.Seed = 1
-	}
-	if spec.Workers <= 0 {
-		spec.Workers = 1
-	}
-	if spec.Workers > m.cfg.MaxWorkersPerJob {
-		spec.Workers = m.cfg.MaxWorkersPerJob
-	}
-	if spec.Start == nil {
-		if m.eng.defaultStart < 0 {
-			return spec, errors.New("serve: spec needs a start node (backend has no ground-truth view to pick one from)")
-		}
-		v := m.eng.defaultStart
-		spec.Start = &v
-	} else if *spec.Start < 0 || *spec.Start >= m.eng.NumNodes() {
-		return spec, fmt.Errorf("serve: start node %d out of range [0, %d)", *spec.Start, m.eng.NumNodes())
-	}
-	if spec.WalkLength <= 0 {
-		spec.WalkLength = m.eng.defaultWalkLen
-	}
-	if spec.CrawlHops <= 0 {
-		spec.CrawlHops = 2
-	}
-	if spec.Attr == "" {
-		spec.Attr = "degree"
-	}
-	if spec.DeadlineMS < 0 {
-		return spec, fmt.Errorf("serve: negative deadline_ms %d", spec.DeadlineMS)
-	}
-	return spec, nil
+	return m.results.Stats()
 }
 
 // Draining reports whether Close has begun: the manager no longer accepts
@@ -528,14 +536,23 @@ func (m *Manager) Draining() bool {
 	return m.closed
 }
 
-// Submit normalizes and enqueues a job. It fails fast with ErrQueueFull when
-// the bounded queue is at capacity (admission control), never blocking the
-// caller.
+// Submit normalizes and enqueues a job. Admission consults the result cache
+// first: a digest already memoized is served as an instantly-terminal job —
+// zero walk steps, zero charges, no queue slot, no estimation workers — so
+// repeat submissions are immune to overload shedding. Otherwise it fails
+// fast with ErrQueueFull when the bounded queue is at capacity (admission
+// control), never blocking the caller.
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	spec, err := m.normalize(spec)
 	if err != nil {
 		m.met.jobsRejected.Add(1)
 		return nil, err
+	}
+	digest := SpecDigest(m.env, spec)
+	if m.results != nil {
+		if rows, cres, ok := m.results.Get(digest); ok {
+			return m.admitCached(spec, digest, rows, cres)
+		}
 	}
 	// The closed check, the non-blocking enqueue, and the registration form
 	// one critical section: Close sets closed under the same lock before it
@@ -553,6 +570,7 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	id := fmt.Sprintf("job-%06d", m.seq)
 	job := newJob(id, spec, time.Now())
 	job.seq = m.seq
+	job.digest = digest
 	if m.journal() != nil {
 		job.journaled = make(chan struct{})
 	}
@@ -570,6 +588,9 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 			close(job.journaled)
 		}
 		m.met.jobsSubmitted.Add(1)
+		if m.cfg.Logf != nil {
+			m.cfg.Logf("job %s accepted digest=%s", id, digest)
+		}
 		return job, nil
 	default:
 		m.mu.Unlock()
@@ -577,6 +598,58 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		m.met.jobsShed.Add(1)
 		return nil, ErrQueueFull
 	}
+}
+
+// admitCached serves a repeat submission from the result cache: the job is
+// registered already terminal, its rows the original run's rows verbatim
+// (identical i/node/steps/cost sequence) and its result a fresh summary
+// charging zero queries. It never touches the bounded queue or the worker
+// budget — the only admission gate that still applies is Close.
+func (m *Manager) admitCached(spec JobSpec, digest string, rows []Sample, cres *JobResult) (*Job, error) {
+	now := time.Now()
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.met.jobsShed.Add(1)
+		return nil, ErrClosed
+	}
+	m.seq++
+	id := fmt.Sprintf("job-%06d", m.seq)
+	job := newJob(id, spec, now)
+	job.seq = m.seq
+	job.digest = digest
+	if m.journal() != nil {
+		job.journaled = make(chan struct{})
+	}
+	job.state = JobDone
+	job.started = now
+	job.finished = now
+	job.samples = rows
+	job.result = &JobResult{
+		Samples:        cres.Samples,
+		Queries:        0,
+		FleetQueries:   m.eng.CacheStats().Queries,
+		AcceptanceRate: cres.AcceptanceRate,
+		Estimate:       cres.Estimate,
+		Nodes:          cres.Nodes,
+		Cached:         true,
+	}
+	m.jobs[id] = job
+	m.order = append(m.order, id)
+	m.mu.Unlock()
+	if job.journaled != nil {
+		m.journalAccepted(job)
+		close(job.journaled)
+	}
+	m.met.jobsSubmitted.Add(1)
+	m.met.jobsDone.Add(1)
+	// The hit is journaled as a self-contained terminal record, so it
+	// survives restart exactly like a live run's record.
+	m.journalTerminal(job)
+	if m.cfg.Logf != nil {
+		m.cfg.Logf("job %s served from result cache digest=%s", id, digest)
+	}
+	return job, nil
 }
 
 // Get returns the job with the given id.
@@ -742,6 +815,12 @@ func (m *Manager) finish(job *Job, result *JobResult, err error) {
 	run := job.finished.Sub(job.started)
 	job.cond.Broadcast()
 	job.mu.Unlock()
+	if err == nil && m.results != nil && job.digest != "" {
+		// Memoize the clean completion (Put drops partial results itself).
+		// The samples slice is terminal and append-only — safe to share
+		// with the cache and every future hit.
+		m.results.Put(job.digest, job.samples, result)
+	}
 	m.met.runDur.Observe(run)
 	m.noteTerminal(job)
 }

@@ -101,9 +101,14 @@ func (c JournalConfig) withDefaults() (JournalConfig, error) {
 // or the terminal status with its sample rows (finished jobs). It is what
 // replay hands back to the manager for rehydration and resume.
 type JobRecord struct {
-	ID   string  `json:"id"`
-	Seq  int64   `json:"seq,omitempty"`
-	Spec JobSpec `json:"spec"`
+	ID  string `json:"id"`
+	Seq int64  `json:"seq,omitempty"`
+	// Digest is the job's canonical content address (SpecDigest over the
+	// normalized spec): the durable identity of the job's *result*. At boot
+	// it re-seeds the result cache from rehydrated terminal records without
+	// re-deriving the normalization environment.
+	Digest string  `json:"digest,omitempty"`
+	Spec   JobSpec `json:"spec"`
 	// State is a terminal state for finished jobs; anything else marks the
 	// job incomplete (replay resumes it regardless of whether it was queued
 	// or mid-run at the crash — the deterministic re-run covers both).

@@ -198,6 +198,16 @@ func (m *Manager) WriteProm(w io.Writer) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, formatFloat(v))
 	}
 
+	// Result-cache meters. Emitted (as zeros) even with the cache disabled,
+	// so dashboards keep a stable series set.
+	rcs := m.ResultCacheStats()
+	counter("walknotwait_jobs_cache_hits_total", "Repeat submissions served from the job result cache (zero walk steps, zero charges).", rcs.Hits)
+	counter("walknotwait_jobs_cache_misses_total", "Submissions that missed the job result cache and ran live.", rcs.Misses)
+	counter("walknotwait_jobs_cache_evictions_total", "Cached job results evicted by the LRU byte budget.", rcs.Evictions)
+	gauge("walknotwait_jobs_cache_bytes", "Bytes held by the job result cache.", float64(rcs.Bytes))
+	gauge("walknotwait_jobs_cache_entries", "Job results currently cached.", float64(rcs.Entries))
+	counter("walknotwait_queries_saved_total", "Query charges avoided by result-cache hits (the original runs' costs).", rcs.QueriesSaved)
+
 	fmt.Fprintf(w, "# HELP walknotwait_jobs_recovered_total Jobs recovered from the journal at boot, by mode.\n")
 	fmt.Fprintf(w, "# TYPE walknotwait_jobs_recovered_total counter\n")
 	fmt.Fprintf(w, "walknotwait_jobs_recovered_total{mode=\"resumed\"} %d\n", m.met.jobsResumed.Load())

@@ -65,11 +65,17 @@ func (m *Manager) recoverFromJournal(jl *Journal) {
 		if _, ok := m.jobs[rec.ID]; ok {
 			continue
 		}
-		job := jobFromRecord(rec, m.cfg)
+		job := m.jobFromRecord(rec)
 		m.jobs[rec.ID] = job
 		m.order = append(m.order, rec.ID)
 		if rec.State.Terminal() {
 			m.met.jobsRehydrated.Add(1)
+			// Re-seed the result cache: a rehydrated clean completion is as
+			// good an answer as a freshly computed one, so repeats keep
+			// hitting across restarts. (Put itself drops partial results.)
+			if m.results != nil && job.digest != "" && rec.State == JobDone {
+				m.results.Put(job.digest, rec.Rows, rec.Result)
+			}
 		} else {
 			m.met.jobsResumed.Add(1)
 			resume = append(resume, job)
@@ -100,17 +106,24 @@ func (m *Manager) recoverFromJournal(jl *Journal) {
 }
 
 // jobFromRecord rebuilds a Job from its durable record.
-func jobFromRecord(rec JobRecord, cfg Config) *Job {
+func (m *Manager) jobFromRecord(rec JobRecord) *Job {
 	spec := rec.Spec
-	if spec.Workers > cfg.MaxWorkersPerJob {
+	if spec.Workers > m.cfg.MaxWorkersPerJob {
 		// A shrunken worker budget cannot honor the recorded parallelism;
 		// clamp rather than deadlock on acquisition. The resumed stream is
 		// then the deterministic stream of the clamped spec — keep the
 		// budget stable across restarts when bit-identity matters.
-		spec.Workers = cfg.MaxWorkersPerJob
+		spec.Workers = m.cfg.MaxWorkersPerJob
 	}
 	j := newJob(rec.ID, spec, msToTime(rec.SubmittedMS))
 	j.seq = rec.Seq
+	j.digest = rec.Digest
+	if j.digest == "" || spec.Workers != rec.Spec.Workers {
+		// Pre-digest journals, or a clamp that changed the spec the job will
+		// actually run under: the recorded spec is already normalized, so
+		// the digest is recomputable against the current environment.
+		j.digest = SpecDigest(m.env, spec)
+	}
 	if !rec.State.Terminal() {
 		j.recovered = true
 		j.durable.Store(int64(rec.Durable))
@@ -227,6 +240,7 @@ func (j *Job) record() JobRecord {
 	rec := JobRecord{
 		ID:          j.id,
 		Seq:         j.seq,
+		Digest:      j.digest,
 		Spec:        j.spec,
 		State:       j.state,
 		SubmittedMS: timeToMS(j.submitted),

@@ -10,13 +10,23 @@ take entries[-1] (or the last entry of a given "kind" for files shared by
 several scripts, like BENCH_serve.json).
 
 A legacy single-run file (no "entries" key) is migrated in place: its old
-top-level object becomes entries[0], with a null date since the run date
-was never recorded.
+top-level object becomes entries[0], dated by the file's mtime — the best
+record available of when that run actually happened. All dates are UTC
+(calendar dates must not depend on the benchmark machine's timezone).
 """
 
 import datetime
 import json
+import os
 import sys
+
+
+def utc_date(ts: float | None = None) -> str:
+    if ts is None:
+        dt = datetime.datetime.now(datetime.timezone.utc)
+    else:
+        dt = datetime.datetime.fromtimestamp(ts, datetime.timezone.utc)
+    return dt.date().isoformat()
 
 
 def main() -> None:
@@ -24,7 +34,7 @@ def main() -> None:
         raise SystemExit(__doc__)
     out, entry_path = sys.argv[1], sys.argv[2]
     entry = json.load(open(entry_path))
-    dated = {"date": datetime.date.today().isoformat()}
+    dated = {"date": utc_date()}
     if len(sys.argv) == 4:
         dated["kind"] = sys.argv[3]
     dated.update(entry)
@@ -34,7 +44,7 @@ def main() -> None:
     except (FileNotFoundError, json.JSONDecodeError):
         doc = {"entries": []}
     if "entries" not in doc:
-        doc = {"entries": [{"date": None, **doc}]}
+        doc = {"entries": [{"date": utc_date(os.path.getmtime(out)), **doc}]}
     doc["entries"].append(dated)
 
     with open(out, "w") as f:

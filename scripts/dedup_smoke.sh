@@ -1,0 +1,171 @@
+#!/usr/bin/env bash
+# Dedup smoke (ISSUE 10): prove the deterministic result cache end to end.
+#
+#   1. Run the result-cache property tests under -race: digest equivalence /
+#      collision-freedom for NormalizeSpec+SpecDigest, repeat submissions
+#      served from the cache with frozen engine meters, shed immunity, LRU
+#      eviction, journal-rehydrated cache survival across restart, and the
+#      coordinator-side fleet repeat path.
+#   2. Boot weserve over a 2ms-latency sim backend (result cache on) and run
+#      a zipfian repeat mix cold, sequentially: at most one miss per distinct
+#      spec, so the observed hit rate must clear the (jobs-distinct)/jobs
+#      floor.
+#   3. Re-run the identical mix warm: every job must hit, and the daemon's
+#      fleet charge meter (walknotwait_queries_charged_total) must not move
+#      at all — repeats cost zero walk steps and zero query charges.
+#   4. Boot a cache-disabled daemon (-result-cache-bytes=-1) on the same
+#      graph, warm its neighbor cache with one pass over the distinct specs,
+#      and run the identical mix: every job re-runs live. The cached daemon
+#      must clear >= 5x the cache-disabled samples/sec on this mix.
+#   5. Append hit rate, charge delta, charges saved, speedup, and the
+#      cached-vs-live latency digests as a dated "dedup"-kind entry to
+#      BENCH_serve.json, then verify the entry landed dated.
+#
+# Usage: scripts/dedup_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_serve.json"
+ADDR="127.0.0.1:17171"
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Workload shape: 160 jobs over 12 distinct specs, zipf(1.3) popularity —
+# the few-hot-many-cold repeat traffic the cache exists for. Single runner,
+# so live re-runs are serialized by the worker budget while cache hits
+# bypass the queue entirely (the capacity the cache frees is the measured
+# effect, not an artifact of oversized runner pools).
+LATENCY="2ms"
+COUNT=120
+WORKERS=2
+DISTINCT=12
+JOBS=160
+ZIPF=1.3
+CONC=8
+SEED=500
+
+echo "== result-cache property tests (-race) =="
+go test -race -run \
+  'TestSpecDigest|TestRepeatSubmission|TestResultCache|TestCachedHit|TestConcurrentRepeats|TestFleetRepeat' \
+  ./internal/serve/ ./internal/cluster/
+
+echo "== build =="
+go build -o "$WORK/" ./cmd/wegen ./cmd/weserve ./cmd/weload
+"$WORK/wegen" -model ba -n 3000 -m 3 -seed 7 -format csr -out "$WORK/g.csr"
+
+charged() {
+  curl -fsS "http://$ADDR/metrics" | awk '$1 == "walknotwait_queries_charged_total" {print $2}'
+}
+
+start_daemon() { # extra flags...
+  "$WORK/weserve" -in "$WORK/g.csr" -backend sim -latency "$LATENCY" \
+    -addr "$ADDR" -runners 1 -worker-budget 4 "$@" >>"$WORK/serve.log" 2>&1 &
+  SERVE_PID=$!
+}
+
+stop_daemon() {
+  kill "$SERVE_PID" 2>/dev/null || true
+  wait "$SERVE_PID" 2>/dev/null || true
+  SERVE_PID=""
+}
+
+run_mix() { # out.json concurrency
+  "$WORK/weload" -addr "$ADDR" -wait 30s -dedup -zipf "$ZIPF" -distinct "$DISTINCT" \
+    -jobs "$JOBS" -concurrency "$2" -count "$COUNT" -workers "$WORKERS" \
+    -seed "$SEED" -label dedup -out "$1"
+}
+
+echo "== cached daemon: cold zipfian mix (sequential), then the same mix warm =="
+start_daemon
+run_mix "$WORK/cold.json" 1
+Q_BEFORE=$(charged)
+run_mix "$WORK/warm.json" "$CONC"
+Q_AFTER=$(charged)
+echo "charge meter across the warm mix: $Q_BEFORE -> $Q_AFTER"
+stop_daemon
+
+echo "== cache-disabled daemon: neighbor cache warmed, identical mix =="
+start_daemon -result-cache-bytes=-1
+"$WORK/weload" -addr "$ADDR" -wait 30s -jobs "$DISTINCT" -concurrency 4 \
+  -count "$COUNT" -workers "$WORKERS" -seed "$SEED" >/dev/null
+run_mix "$WORK/nocache.json" "$CONC"
+stop_daemon
+
+python3 - "$WORK" "$WORK/entry.json" "$Q_BEFORE" "$Q_AFTER" <<'EOF'
+import json, sys
+
+work, out = sys.argv[1], sys.argv[2]
+q_before, q_after = int(float(sys.argv[3])), int(float(sys.argv[4]))
+
+cold = json.load(open(f"{work}/cold.json"))
+warm = json.load(open(f"{work}/warm.json"))
+nocache = json.load(open(f"{work}/nocache.json"))
+for name, rec in (("cold", cold), ("warm", warm), ("nocache", nocache)):
+    if rec["errors"] or rec["shed"]:
+        raise SystemExit(f"{name} run had errors={rec['errors']} shed={rec['shed']}")
+
+# Cold sequential mix: at most one miss per distinct spec, so the hit rate
+# must clear the deterministic floor.
+dd = cold["dedup"]
+floor = dd["predicted_hit_rate_floor"]
+if dd["hit_rate"] < floor:
+    raise SystemExit(f"cold hit rate {dd['hit_rate']:.3f} < floor {floor:.3f}")
+
+# Warm mix: every job hits, and hits are free — the fleet charge meter must
+# not have moved at all.
+wd = warm["dedup"]
+if wd["misses"] != 0:
+    raise SystemExit(f"warm mix missed {wd['misses']} times, want 0")
+if q_after != q_before:
+    raise SystemExit(f"cache hits charged queries: {q_before} -> {q_after}")
+if wd["queries_saved"] <= 0:
+    raise SystemExit(f"queries_saved = {wd['queries_saved']}, want > 0")
+
+# Cache-disabled daemon on the identical mix: no hits, and the cached daemon
+# clears the 5x throughput bar.
+nd = nocache["dedup"]
+if nd["hits"] != 0:
+    raise SystemExit(f"cache-disabled daemon reported {nd['hits']} hits")
+speedup = warm["samples_per_sec"] / nocache["samples_per_sec"]
+if speedup < 5:
+    raise SystemExit(
+        f"dedup speedup {speedup:.2f}x < 5x "
+        f"({warm['samples_per_sec']:.0f} vs {nocache['samples_per_sec']:.0f} samples/s)")
+
+record = {
+    "graph": {"model": "ba", "n": 3000, "m": 3, "seed": 7},
+    "backend": {"kind": "sim", "latency_ms": 2},
+    "mix": {"jobs": cold["jobs"], "distinct_specs": dd["distinct_specs"],
+            "zipf_s": dd["zipf_s"], "count_per_job": cold["count_per_job"]},
+    "cold_hit_rate": dd["hit_rate"],
+    "hit_rate_floor": floor,
+    "warm_hit_rate": wd["hit_rate"],
+    "warm_charge_delta": q_after - q_before,
+    "queries_saved": wd["queries_saved"],
+    "samples_per_sec_cached": warm["samples_per_sec"],
+    "samples_per_sec_nocache": nocache["samples_per_sec"],
+    "speedup_x": speedup,
+    "cached_latency_ms": wd["cached_latency_ms"],
+    "live_latency_ms": nd["live_latency_ms"],
+}
+json.dump(record, open(out, "w"), indent=2)
+print(f"dedup mix: cold hit rate {dd['hit_rate']:.3f} (floor {floor:.3f}), "
+      f"warm all-hit at zero charge delta, "
+      f"{speedup:.1f}x samples/s vs cache-disabled "
+      f"({warm['samples_per_sec']:.0f} vs {nocache['samples_per_sec']:.0f})")
+EOF
+python3 scripts/bench_append.py "$OUT" "$WORK/entry.json" dedup
+
+python3 - "$OUT" <<'EOF'
+import json, sys
+entries = json.load(open(sys.argv[1]))["entries"]
+last = [e for e in entries if e.get("kind") == "dedup"][-1]
+if not last.get("date"):
+    raise SystemExit("dedup entry has no date")
+print(f"dedup entry recorded, dated {last['date']}")
+EOF
